@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+asserts the paper's qualitative claims about it, so ``pytest
+benchmarks/ --benchmark-only`` both times the drivers and re-validates
+the reproduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+
+
+@pytest.fixture
+def flat_node() -> KNLNode:
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+
+
+@pytest.fixture
+def cache_node() -> KNLNode:
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))

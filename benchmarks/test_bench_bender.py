@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Bender et al. corroboration."""
+
+from __future__ import annotations
+
+from repro.experiments.bender import run_bender
+
+
+def test_bench_bender(benchmark):
+    result = benchmark.pedantic(run_bender, rounds=3, iterations=1)
+    rows = {r["metric"]: r["simulated"] for r in result.rows}
+    assert rows["chunking speedup over GNU-flat"] > 1.05
+    assert rows["DDR traffic reduction"] > 2.5
+    assert rows["sort is memory-bandwidth bound (Snir test)"] == 1.0

@@ -1,0 +1,81 @@
+"""Benchmarks for the future-work and ablation extensions."""
+
+from __future__ import annotations
+
+from repro.experiments.extensions import (
+    run_ablation,
+    run_designspace,
+    run_energy,
+    run_hybrid,
+    run_nvm,
+    run_oblivious,
+)
+
+
+def test_bench_nvm(benchmark):
+    result = benchmark.pedantic(
+        run_nvm, kwargs={"data_gib": 50}, rounds=3, iterations=1
+    )
+    times = {r["strategy"]: r["seconds"] for r in result.rows}
+    assert times["single"] < times["direct"]
+    assert times["double"] < times["direct"]
+
+
+def test_bench_designspace(benchmark):
+    result = benchmark.pedantic(run_designspace, rounds=3, iterations=1)
+    ratio_rows = [r for r in result.rows if r["sweep"] == "mcdram/ddr ratio"]
+    # Beyond the balance point, more near-memory bandwidth is wasted.
+    assert ratio_rows[-1]["best_time_s"] == ratio_rows[-2]["best_time_s"]
+
+
+def test_bench_hybrid_sweep(benchmark):
+    result = benchmark.pedantic(run_hybrid, rounds=3, iterations=1)
+    times = [r["seconds"] for r in result.rows]
+    assert max(times) / min(times) < 1.02
+
+
+def test_bench_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=2, iterations=1)
+    assert len(result.rows) == 5
+
+
+def test_bench_oblivious(benchmark):
+    result = benchmark.pedantic(run_oblivious, rounds=3, iterations=1)
+    for row in result.rows:
+        assert 1.0 < row["oblivious_vs_implicit"] < 1.4
+
+
+def test_bench_energy(benchmark):
+    result = benchmark.pedantic(run_energy, rounds=3, iterations=1)
+    by_algo = {r["algorithm"]: r["energy_j"] for r in result.rows}
+    assert by_algo["MLM-implicit"] < by_algo["GNU-flat"]
+
+
+def test_bench_external(benchmark):
+    from repro.experiments.extensions import run_external
+
+    result = benchmark.pedantic(run_external, rounds=3, iterations=1)
+    rows = {r["config"]: r["seconds"] for r in result.rows}
+    in_mem = next(v for k, v in rows.items() if "in-memory" in k)
+    ext = next(v for k, v in rows.items() if k == "2B external sort")
+    assert in_mem < ext
+
+
+def test_bench_pollution(benchmark):
+    from repro.experiments.extensions import run_pollution
+
+    result = benchmark.pedantic(run_pollution, rounds=5, iterations=1)
+    t = {r["scenario"]: r["victim_s"] for r in result.rows}
+    assert (
+        t["full cache, no copies"]
+        < t["hybrid half-cache, copy pollution"]
+        < t["no cache (DDR)"]
+    )
+
+
+def test_bench_adaptive(benchmark):
+    from repro.experiments.extensions import run_adaptive
+
+    result = benchmark.pedantic(run_adaptive, rounds=3, iterations=1)
+    deg = {r["strategy"]: r["degradation"] for r in result.rows}
+    assert deg["aware-full"] > deg["adaptive-dc"]

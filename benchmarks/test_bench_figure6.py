@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 6 (speedups over GNU-flat)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure6 import run_figure6
+
+
+def test_bench_figure6(benchmark):
+    result = benchmark.pedantic(run_figure6, rounds=3, iterations=1)
+    # Paper headline: up to 1.9x over GNU sort without MCDRAM.
+    best = max(r["speedup"] for r in result.rows)
+    assert 1.8 <= best <= 2.3
+    # Every MLM variant beats both GNU baselines everywhere.
+    for row in result.rows:
+        if row["algorithm"].startswith("MLM"):
+            assert row["speedup"] > 1.15
+
+
+def test_bench_figure6_panels(benchmark):
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    panels = {r["panel"] for r in result.rows}
+    assert panels == {"6a", "6b"}
+    # Reverse-sorted inputs (6b) show the larger MLM-over-GNU gaps.
+    def best_mlm(panel):
+        return max(
+            r["speedup"]
+            for r in result.rows
+            if r["panel"] == panel and r["algorithm"].startswith("MLM")
+        )
+
+    assert best_mlm("6b") > best_mlm("6a")

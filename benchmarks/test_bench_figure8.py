@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 8 (merge-benchmark curves)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure8 import run_figure8
+
+
+def test_bench_figure8(benchmark):
+    result = benchmark.pedantic(run_figure8, rounds=2, iterations=1)
+    # 7 repeats x 6 copy-thread candidates, model + empirical per cell.
+    assert len(result.rows) == 42
+    for row in result.rows:
+        # Empirical (with fill/drain) tracks the model from above.
+        assert row["empirical_s"] >= row["model_s"] * 0.95
+        assert row["empirical_s"] <= row["model_s"] * 1.30
+
+
+def test_bench_figure8_shapes(benchmark):
+    result = benchmark.pedantic(
+        run_figure8, kwargs={"repeats": (1, 64)}, rounds=2, iterations=1
+    )
+    low = [r["empirical_s"] for r in result.rows if r["repeats"] == 1]
+    high = [r["empirical_s"] for r in result.rows if r["repeats"] == 64]
+    # Copy-bound regime: adding copy threads helps monotonically.
+    assert low == sorted(low, reverse=True)
+    # Compute-bound regime: too many copy threads hurt (U-shape tail).
+    assert high[-1] > min(high)
+
+
+def test_bench_merge_pipeline_single(benchmark, flat_node):
+    """Micro: one pipelined merge-benchmark execution."""
+    from repro.algorithms.merge_bench import MergeBenchConfig, run_merge_bench
+
+    cfg = MergeBenchConfig(repeats=8, copy_in_threads=4)
+    res = benchmark(run_merge_bench, flat_node, cfg)
+    assert res.elapsed > 0

@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the library's hot paths.
+
+These measure the *Python implementation itself* (not the simulated
+KNL): the water-filling allocator, the line-level cache simulator, the
+vectorized merge, introsort, and the functional MLM-sort.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.merge_bench import merge_halves
+from repro.algorithms.mlm_sort import mlm_sort
+from repro.algorithms.multiway_merge import merge_two, multiway_merge
+from repro.algorithms.serial_sort import introsort
+from repro.simknl.cache import DirectMappedCache
+from repro.simknl.flows import Flow, Resource, allocate_rates
+from repro.units import GB
+
+
+def test_bench_allocator(benchmark):
+    resources = {
+        "ddr": Resource("ddr", 90 * GB),
+        "mcdram": Resource("mcdram", 400 * GB),
+    }
+    flows = [
+        Flow(f"f{i}", 8 + i, 4.8 * GB, {"ddr": 1.0, "mcdram": 1.0}, 1.0)
+        for i in range(16)
+    ]
+    rates = benchmark(allocate_rates, flows, resources)
+    assert len(rates) == 16
+
+
+def test_bench_cache_sim(benchmark):
+    cache = DirectMappedCache(capacity=1 << 16, line_size=64)
+
+    def sweep():
+        cache.reset()
+        cache.access_range(0, 1 << 18, write=True)
+        return cache.stats.misses
+
+    misses = benchmark(sweep)
+    assert misses == (1 << 18) // 64
+
+
+def test_bench_merge_two(benchmark):
+    rng = np.random.default_rng(0)
+    a = np.sort(rng.integers(0, 1 << 30, 200_000, dtype=np.int64))
+    b = np.sort(rng.integers(0, 1 << 30, 200_000, dtype=np.int64))
+    out = benchmark(merge_two, a, b)
+    assert len(out) == 400_000
+
+
+def test_bench_multiway_merge(benchmark):
+    rng = np.random.default_rng(1)
+    runs = [
+        np.sort(rng.integers(0, 1 << 30, 50_000, dtype=np.int64))
+        for _ in range(16)
+    ]
+    out = benchmark(multiway_merge, runs)
+    assert len(out) == 800_000
+
+
+def test_bench_introsort(benchmark):
+    rng = np.random.default_rng(2)
+    base = rng.integers(0, 1 << 20, 2_000, dtype=np.int64)
+    out = benchmark.pedantic(
+        lambda: introsort(base.copy()), rounds=5, iterations=1
+    )
+    assert np.all(np.diff(out) >= 0)
+
+
+def test_bench_functional_mlm_sort(benchmark):
+    rng = np.random.default_rng(3)
+    arr = rng.integers(0, 1 << 40, 500_000, dtype=np.int64)
+    out = benchmark(mlm_sort, arr, 100_000, 8)
+    assert len(out) == len(arr)
+
+
+def test_bench_merge_halves_kernel(benchmark):
+    rng = np.random.default_rng(4)
+    arr = rng.integers(0, 1 << 30, 300_000, dtype=np.int64)
+    out = benchmark(merge_halves, arr)
+    assert np.all(np.diff(out) >= 0)
+
+
+def test_bench_funnelsort(benchmark):
+    rng = np.random.default_rng(5)
+    arr = rng.integers(0, 1 << 40, 100_000, dtype=np.int64)
+    from repro.algorithms.funnelsort import funnelsort
+
+    out = benchmark(funnelsort, arr)
+    assert np.all(np.diff(out) >= 0)
+
+
+def test_bench_external_sort(benchmark, tmp_path):
+    rng = np.random.default_rng(6)
+    arr = rng.integers(0, 1 << 40, 50_000, dtype=np.int64)
+    from repro.algorithms.external_sort import external_sort
+
+    out = benchmark.pedantic(
+        lambda: external_sort(arr, 8192, workdir=str(tmp_path)),
+        rounds=3,
+        iterations=1,
+    )
+    assert np.all(np.diff(out) >= 0)

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 1 (raw sort times, 30 cells)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    assert len(result.rows) == 30
+    # Paper claim: the MLM variants win in every workload.
+    for order in ("random", "reverse"):
+        for n in (2_000_000_000, 4_000_000_000, 6_000_000_000):
+            cells = {
+                r["algorithm"]: r["simulated_s"]
+                for r in result.rows
+                if r["elements"] == n and r["order"] == order
+            }
+            assert min(cells, key=cells.get).startswith("MLM")
+            assert max(cells, key=cells.get) == "GNU-flat"
+
+
+def test_bench_table1_single_cell(benchmark):
+    """Time one representative cell (MLM-implicit, 2B random)."""
+    from repro.experiments.runner import sort_variant_seconds
+
+    t = benchmark(
+        sort_variant_seconds, "MLM-implicit", 2_000_000_000, "random"
+    )
+    assert abs(t - 7.37) / 7.37 < 0.10

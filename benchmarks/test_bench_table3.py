@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Table 3 (optimal copy threads, model vs
+empirical)."""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import run_table3
+
+
+def test_bench_table3(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=3, iterations=1)
+    rows = {r["repeats"]: r for r in result.rows}
+    # Both columns decrease monotonically with compute intensity.
+    models = [rows[r]["model"] for r in sorted(rows)]
+    emps = [rows[r]["empirical_pow2"] for r in sorted(rows)]
+    assert models == sorted(models, reverse=True)
+    assert emps == sorted(emps, reverse=True)
+    # Exact paper agreement at the extremes.
+    assert rows[1]["model"] == rows[1]["paper_model"] == 10
+    assert rows[64]["model"] == rows[64]["paper_model"] == 1
+    assert rows[1]["empirical_pow2"] == rows[1]["paper_empirical_pow2"] == 16
+    assert rows[64]["empirical_pow2"] == rows[64]["paper_empirical_pow2"] == 1
+
+
+def test_bench_model_optimizer(benchmark):
+    """Micro: one full model sweep (127 candidate splits)."""
+    from repro.model.optimizer import optimal_copy_threads
+    from repro.model.params import ModelParams
+
+    res = benchmark(optimal_copy_threads, ModelParams(), 256, 8.0)
+    assert 1 <= res.p_in <= 16

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a KNL node and run a chunked kernel on it.
+
+Demonstrates the core workflow in ~40 lines:
+
+1. boot a simulated KNL node in a memory mode,
+2. describe a streaming kernel and a data set,
+3. let the planner pick chunk size and thread split,
+4. run the triple-buffered pipeline and read back time + traffic.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.core import BufferedPipeline, Chunker, StreamKernel
+from repro.core.modes import UsageMode
+from repro.core.planner import plan_chunk_bytes, plan_pools
+from repro.model.params import ModelParams
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.units import GB
+
+
+def main() -> None:
+    # A 30 GB data set: twice the MCDRAM, the paper's regime.
+    data_bytes = int(30 * GB) // 8 * 8
+    kernel = StreamKernel(passes=8, name="my-kernel")
+    params = ModelParams().with_data_size(data_bytes)
+
+    print("workload: 30 GB, 8 read+write passes per chunk\n")
+    for mode, bios in (
+        (UsageMode.FLAT, MemoryMode.FLAT),
+        (UsageMode.IMPLICIT, MemoryMode.CACHE),
+        (UsageMode.DDR, MemoryMode.FLAT),
+    ):
+        node = KNLNode(KNLNodeConfig(mode=bios))
+        chunk = plan_chunk_bytes(node, mode, data_bytes)
+        pools = plan_pools(node, mode, params, passes=kernel.passes(chunk))
+        pipe = BufferedPipeline(
+            node, mode, pools, Chunker(data_bytes, chunk), kernel, params
+        )
+        res = pipe.run()
+        print(
+            f"{mode.value:9s}: {res.elapsed:6.3f} s   "
+            f"chunks={res.num_chunks:3d}  "
+            f"copy-threads={pools.copy_threads:3d}  "
+            f"DDR traffic={res.traffic_gb('ddr'):6.1f} GB  "
+            f"MCDRAM traffic={res.traffic_gb('mcdram'):7.1f} GB"
+        )
+
+    print(
+        "\nflat beats DDR-only by exploiting MCDRAM bandwidth; implicit"
+        "\nkeeps most of that win with zero explicit data movement —"
+        "\nthe paper's central observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Visualize a buffered pipeline: Gantt chart, utilization, energy.
+
+Runs the Section 5 merge benchmark and shows what the simulator
+actually scheduled — the Fig. 2 overlap of copy-in / compute /
+copy-out steps — plus per-device utilization and the energy bill.
+Optionally writes a Chrome-trace JSON loadable in chrome://tracing
+or Perfetto.
+
+Run: ``python examples/trace_pipeline.py [trace.json]``
+"""
+
+import sys
+
+from repro.algorithms.merge_bench import MergeBenchConfig, run_merge_bench
+from repro.simknl.energy import EnergyModel
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.simknl.trace import (
+    phase_utilizations,
+    render_gantt,
+    to_chrome_trace,
+)
+from repro.units import GB
+
+
+def main(trace_path: str | None = None) -> None:
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    cfg = MergeBenchConfig(
+        repeats=8, copy_in_threads=5, data_bytes=8 * 10**9, chunk_bytes=10**9
+    )
+    res = run_merge_bench(node, cfg)
+    print(f"merge benchmark: {res.elapsed:.3f} s over {res.num_chunks} chunks\n")
+
+    print(render_gantt(res.plan, res.run, width=50))
+
+    print("\nper-phase device utilization:")
+    utils = phase_utilizations(
+        res.plan, res.run, {"ddr": 90 * GB, "mcdram": 400 * GB}
+    )
+    for u in utils[:6]:
+        ddr = u.device_utilization.get("ddr", 0.0)
+        mc = u.device_utilization.get("mcdram", 0.0)
+        print(
+            f"  {u.name:8s} {u.duration * 1e3:7.2f} ms  "
+            f"ddr {ddr:5.1%}  mcdram {mc:5.1%}"
+        )
+    print(f"  ... ({len(utils)} phases total)")
+
+    rep = EnergyModel().report(res.run)
+    print(
+        f"\nenergy: {rep.total_joules:.1f} J total "
+        f"(dynamic ddr {rep.dynamic_joules.get('ddr', 0):.1f} J, "
+        f"mcdram {rep.dynamic_joules.get('mcdram', 0):.1f} J); "
+        f"EDP {rep.energy_delay_product:.1f} J*s"
+    )
+
+    if trace_path:
+        with open(trace_path, "w", encoding="utf-8") as fh:
+            fh.write(to_chrome_trace(res.plan, res.run))
+        print(f"\nwrote Chrome trace to {trace_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

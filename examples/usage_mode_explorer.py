@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Explore every MCDRAM usage mode for a workload you describe.
+
+Walks through the decision the paper frames for application
+developers: given a kernel's data size and compute intensity, which
+usage mode (flat / hybrid / implicit / hardware cache / DDR) wins, and
+by how much? Also demos the memkind allocation layer each mode implies.
+
+Run: ``python examples/usage_mode_explorer.py [data_gb] [passes]``
+"""
+
+import sys
+
+from repro.core import BufferedPipeline, Chunker, StreamKernel
+from repro.core.modes import UsageMode, mode_label
+from repro.core.planner import plan_chunk_bytes, plan_pools
+from repro.errors import ReproError
+from repro.memkind import MEMKIND_HBW, MEMKIND_HBW_PREFERRED, Heap, HbwAPI
+from repro.model.params import ModelParams
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.units import GB, GiB
+
+BIOS_FOR_MODE = {
+    UsageMode.FLAT: MemoryMode.FLAT,
+    UsageMode.HYBRID: MemoryMode.HYBRID,
+    UsageMode.IMPLICIT: MemoryMode.CACHE,
+    UsageMode.CACHE: MemoryMode.CACHE,
+    UsageMode.DDR: MemoryMode.FLAT,
+}
+
+
+def explore(data_gb: float, passes: float) -> None:
+    data_bytes = int(data_gb * GB) // 8 * 8
+    kernel = StreamKernel(passes=passes, name="user-kernel")
+    params = ModelParams().with_data_size(data_bytes)
+    print(f"workload: {data_gb:g} GB, {passes:g} passes/chunk\n")
+
+    results = {}
+    for mode in UsageMode:
+        node = KNLNode(KNLNodeConfig(mode=BIOS_FOR_MODE[mode]))
+        try:
+            chunk = plan_chunk_bytes(node, mode, data_bytes)
+            if mode is UsageMode.CACHE:
+                # Unchunked legacy code: the whole data set is "one chunk".
+                chunk = data_bytes
+            pools = plan_pools(node, mode, params, passes=passes)
+            pipe = BufferedPipeline(
+                node, mode, pools, Chunker(data_bytes, chunk), kernel, params
+            )
+            res = pipe.run()
+        except ReproError as exc:
+            print(f"{mode.value:9s}: not runnable ({exc})")
+            continue
+        results[mode] = res.elapsed
+        print(
+            f"{mode.value:9s}: {res.elapsed:7.3f} s  "
+            f"({mode_label(mode)}; DDR {res.traffic_gb('ddr'):6.1f} GB)"
+        )
+
+    best = min(results, key=results.get)
+    print(f"\nbest usage mode for this workload: {best.value}\n")
+
+    print("== what allocation looks like in each mode (memkind) ==")
+    for bios in (MemoryMode.FLAT, MemoryMode.CACHE):
+        node = KNLNode(KNLNodeConfig(mode=bios))
+        api = HbwAPI(Heap(node))
+        print(f"[BIOS {bios.value}] hbw available: {api.check_available()}")
+        try:
+            buf = api.malloc(int(1 * GiB))
+            print(f"  hbw_malloc(1 GiB) -> {sorted(buf.devices)}")
+            api.free(buf)
+        except ReproError as exc:
+            print(f"  hbw_malloc(1 GiB) -> fails: {exc}")
+            api.set_policy(preferred=True)
+            buf = api.malloc(int(1 * GiB))
+            print(f"  with PREFERRED policy -> {sorted(buf.devices)}")
+            api.free(buf)
+
+
+if __name__ == "__main__":
+    gb = float(sys.argv[1]) if len(sys.argv) > 1 else 30.0
+    passes = float(sys.argv[2]) if len(sys.argv) > 2 else 8.0
+    explore(gb, passes)

@@ -1,0 +1,189 @@
+"""GNU-parallel-sort equivalent: functional and timed.
+
+``__gnu_parallel::sort`` is a multiway mergesort: each of ``p``
+threads sorts an ``n/p`` block serially, then a parallel multiway
+merge with exact splitting combines the blocks through a temporary
+buffer. :func:`gnu_parallel_sort` implements exactly that structure on
+NumPy arrays; :func:`gnu_sort_plan` emits the corresponding timed flow
+plan for the simulated node, in DDR (the paper's "GNU-flat") or
+hardware cache mode ("GNU-cache").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.algorithms.costs import SortCostModel, sort_levels
+from repro.algorithms.multiway_merge import parallel_multiway_merge
+from repro.algorithms.serial_sort import serial_sort
+from repro.core.modes import UsageMode, dc_cache_split, validate_node_mode
+from repro.simknl.engine import Phase, Plan
+from repro.simknl.flows import Flow
+from repro.simknl.node import KNLNode
+from repro.units import INT64
+
+
+def gnu_parallel_sort(
+    arr: np.ndarray, threads: int = 4
+) -> np.ndarray:
+    """Functional GNU-style multiway mergesort.
+
+    Splits into ``threads`` blocks, serial-sorts each, then multiway
+    merges with exact splitting. Returns a new sorted array.
+    """
+    if threads < 1:
+        raise ConfigError("threads must be >= 1")
+    if arr.ndim != 1:
+        raise ConfigError("expects a one-dimensional array")
+    n = len(arr)
+    if n == 0:
+        return arr.copy()
+    threads = min(threads, n)
+    bounds = [n * t // threads for t in range(threads + 1)]
+    runs = [serial_sort(arr[bounds[t] : bounds[t + 1]]) for t in range(threads)]
+    return parallel_multiway_merge(runs, threads=threads)
+
+
+def _cache_stream_multipliers(
+    node: KNLNode, working_set: float, cost: SortCostModel
+) -> dict[str, float]:
+    """Per-logical-byte multipliers for one streaming sweep through the
+    hardware cache (read-modify-write, no reuse across sweeps)."""
+    traffic = node.cache_model.stream(
+        working_set, passes=1, write_fraction=0.5, cold=True
+    )
+    return {
+        "mcdram": traffic.mcdram_bytes / working_set / cost.cache_bw_factor,
+        "ddr": traffic.ddr_bytes / working_set,
+    }
+
+
+def _sort_phases(
+    node: KNLNode,
+    mode: UsageMode,
+    data_bytes: float,
+    levels: float,
+    threads: int,
+    s_sort: float,
+    cost: SortCostModel,
+    working_set: float | None = None,
+    label: str = "local-sort",
+) -> list[Phase]:
+    """Phases of a divide-and-conquer sort stage.
+
+    ``levels`` sweeps over ``data_bytes``; each sweep reads and writes
+    (multiplier 2 on the home device). Under a cache-backed mode the
+    first ``log2(ws / cache)`` recursion levels thrash to DDR and the
+    deeper levels run at (derated) MCDRAM speed — the active-set
+    argument the paper gives for MLM-implicit's tolerance of oversized
+    megachunks. The two bands are *sequential* recursion depths, so
+    they form separate barrier phases, not concurrent flows.
+    """
+    ws = working_set if working_set is not None else data_bytes
+    phases = []
+    if mode in (UsageMode.CACHE, UsageMode.IMPLICIT):
+        uncached, cached = dc_cache_split(
+            node, mode, ws, levels, cost.thrash_level_offset
+        )
+        if uncached > 0:
+            phases.append(
+                Phase(
+                    f"{label}/thrash",
+                    [
+                        Flow(
+                            f"{label}/thrash",
+                            threads,
+                            s_sort * cost.thrash_rate_factor,
+                            _cache_stream_multipliers(node, ws, cost),
+                            data_bytes * uncached,
+                        )
+                    ],
+                )
+            )
+        if cached > 0:
+            phases.append(
+                Phase(
+                    f"{label}/cached",
+                    [
+                        Flow(
+                            f"{label}/cached",
+                            threads,
+                            s_sort,
+                            {"mcdram": 2.0 / cost.cache_bw_factor},
+                            data_bytes * cached,
+                        )
+                    ],
+                )
+            )
+    elif mode in (UsageMode.FLAT, UsageMode.HYBRID):
+        phases.append(
+            Phase(
+                label,
+                [Flow(label, threads, s_sort, {"mcdram": 2.0}, data_bytes * levels)],
+            )
+        )
+    elif mode is UsageMode.DDR:
+        phases.append(
+            Phase(
+                label,
+                [Flow(label, threads, s_sort, {"ddr": 2.0}, data_bytes * levels)],
+            )
+        )
+    else:  # pragma: no cover - enum is exhaustive
+        raise ConfigError(f"unsupported mode {mode!r}")
+    return phases
+
+
+def gnu_sort_plan(
+    node: KNLNode,
+    n: int,
+    order: str = "random",
+    mode: UsageMode = UsageMode.DDR,
+    threads: int = 256,
+    cost: SortCostModel | None = None,
+    element_size: int = INT64,
+) -> Plan:
+    """Timed plan for the GNU parallel sort baseline.
+
+    ``mode`` must be ``DDR`` (GNU-flat: data and temp in DDR) or
+    ``CACHE`` (GNU-cache: same code, MCDRAM as hardware cache).
+    """
+    if mode not in (UsageMode.DDR, UsageMode.CACHE):
+        raise ConfigError("GNU baseline runs in DDR or CACHE usage modes")
+    validate_node_mode(node, mode)
+    if n < 1 or threads < 1:
+        raise ConfigError("n and threads must be positive")
+    cost = cost or SortCostModel()
+    nbytes = float(n * element_size)
+    m = max(1.0, n / threads)
+    levels = sort_levels(m, cost, order=order, gnu=True)
+    s_sort = cost.s_sort_random
+    # GNU keeps data + temp live, doubling the cache working set.
+    ws = nbytes * cost.gnu_working_set_factor
+
+    plan = Plan(name=f"gnu-{mode.value}/{order}/n={n}")
+    for phase in _sort_phases(
+        node, mode, nbytes, levels, threads, s_sort, cost, ws, "local-sort"
+    ):
+        plan.add(phase)
+    # Multiway merge into temp, then copy back — both full sweeps.
+    if mode is UsageMode.CACHE:
+        merge_res = _cache_stream_multipliers(node, ws, cost)
+        copy_res = merge_res
+    else:
+        merge_res = {"ddr": 2.0}
+        copy_res = {"ddr": 2.0}
+    plan.add(
+        Phase(
+            "multiway-merge",
+            [Flow("mwm", threads, cost.s_merge, merge_res, nbytes)],
+        )
+    )
+    plan.add(
+        Phase(
+            "copy-back",
+            [Flow("copy-back", threads, cost.s_copy, copy_res, nbytes)],
+        )
+    )
+    return plan

@@ -1,0 +1,136 @@
+"""Serial sorting: the per-thread building block of MLM-sort.
+
+MLM-sort's key design decision is to replace thread-scalable parallel
+sorting inside a megachunk with one *serial* sort per thread (the
+paper uses ``std::sort``). We provide:
+
+* :func:`introsort` — a faithful introsort (median-of-three quicksort,
+  heapsort depth fallback, insertion sort for small partitions), the
+  same algorithm family as ``std::sort``. Used by tests to validate
+  behaviour and by small examples;
+* :func:`serial_sort` — the production entry point, delegating to
+  NumPy's introsort-family ``np.sort(kind="quicksort")`` for speed
+  while keeping the same semantics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Partitions at or below this size use insertion sort.
+INSERTION_THRESHOLD = 16
+
+
+def insertion_sort(arr: np.ndarray, lo: int = 0, hi: int | None = None) -> None:
+    """In-place insertion sort of ``arr[lo:hi]``."""
+    if hi is None:
+        hi = len(arr)
+    for i in range(lo + 1, hi):
+        key = arr[i]
+        j = i - 1
+        while j >= lo and arr[j] > key:
+            arr[j + 1] = arr[j]
+            j -= 1
+        arr[j + 1] = key
+
+
+def _heapsort(arr: np.ndarray, lo: int, hi: int) -> None:
+    """In-place heapsort of ``arr[lo:hi]`` (introsort's fallback)."""
+    n = hi - lo
+
+    def sift_down(start: int, end: int) -> None:
+        root = start
+        while True:
+            child = 2 * root + 1
+            if child >= end:
+                return
+            if child + 1 < end and arr[lo + child] < arr[lo + child + 1]:
+                child += 1
+            if arr[lo + root] < arr[lo + child]:
+                arr[lo + root], arr[lo + child] = (
+                    arr[lo + child],
+                    arr[lo + root],
+                )
+                root = child
+            else:
+                return
+
+    for start in range(n // 2 - 1, -1, -1):
+        sift_down(start, n)
+    for end in range(n - 1, 0, -1):
+        arr[lo], arr[lo + end] = arr[lo + end], arr[lo]
+        sift_down(0, end)
+
+
+def _median_of_three(arr: np.ndarray, lo: int, mid: int, hi: int) -> int:
+    a, b, c = arr[lo], arr[mid], arr[hi]
+    if a < b:
+        if b < c:
+            return mid
+        return hi if a < c else lo
+    if a < c:
+        return lo
+    return hi if b < c else mid
+
+
+def _partition(arr: np.ndarray, lo: int, hi: int) -> int:
+    """Hoare-style partition of ``arr[lo:hi]`` around a median-of-three
+    pivot; returns the split point."""
+    mid = (lo + hi - 1) // 2
+    p = _median_of_three(arr, lo, mid, hi - 1)
+    pivot = arr[p]
+    i, j = lo, hi - 1
+    while True:
+        while arr[i] < pivot:
+            i += 1
+        while arr[j] > pivot:
+            j -= 1
+        if i >= j:
+            return j + 1 if j > lo else lo + 1
+        arr[i], arr[j] = arr[j], arr[i]
+        i += 1
+        j -= 1
+
+
+def introsort(arr: np.ndarray) -> np.ndarray:
+    """In-place introsort; returns ``arr`` for convenience.
+
+    Matches ``std::sort``'s structure: quicksort with a
+    ``2 * floor(log2 n)`` depth limit, heapsort beyond it, insertion
+    sort for small partitions.
+    """
+    if arr.ndim != 1:
+        raise ConfigError("introsort expects a one-dimensional array")
+    n = len(arr)
+    if n < 2:
+        return arr
+    depth_limit = 2 * int(math.log2(n))
+    stack: list[tuple[int, int, int]] = [(0, n, depth_limit)]
+    while stack:
+        lo, hi, depth = stack.pop()
+        size = hi - lo
+        if size <= INSERTION_THRESHOLD:
+            insertion_sort(arr, lo, hi)
+            continue
+        if depth == 0:
+            _heapsort(arr, lo, hi)
+            continue
+        split = _partition(arr, lo, hi)
+        stack.append((lo, split, depth - 1))
+        stack.append((split, hi, depth - 1))
+    return arr
+
+
+def serial_sort(arr: np.ndarray) -> np.ndarray:
+    """Sort a 1-D array, returning a new sorted array.
+
+    The fast path for production use; semantically equivalent to
+    :func:`introsort` (validated by the test suite).
+    """
+    if arr.ndim != 1:
+        raise ConfigError("serial_sort expects a one-dimensional array")
+    return np.sort(arr, kind="quicksort")

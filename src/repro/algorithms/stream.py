@@ -1,0 +1,112 @@
+"""STREAM-style bandwidth measurement on the simulated node.
+
+The paper's Table 2 quotes its bandwidth ceilings "as measured by the
+STREAM benchmark". We reproduce that measurement procedure against the
+simulator: saturate a device with many copy streams and divide bytes
+by time. The per-thread rates ``S_copy``/``S_comp`` are recovered from
+single-stream runs bounded by memory-level parallelism (Little's law
+over the device latencies), matching Table 2's 4.8 and 6.78 GB/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.simknl.engine import Phase, Plan, run_flows
+from repro.simknl.flows import Flow
+from repro.simknl.node import KNLNode
+from repro.units import GB, GiB
+
+#: Outstanding cache lines per copy thread (loads + stores across two
+#: devices throttle concurrency): 10 * 64 B / 130 ns ~ 4.9 GB/s.
+MLP_COPY = 10
+#: Outstanding cache lines per compute thread against MCDRAM:
+#: 16 * 64 B / 150 ns ~ 6.8 GB/s.
+MLP_COMP = 16
+
+
+def stream_triad_plan(
+    node: KNLNode, device: str, nbytes: float = 4 * GiB, threads: int = 256
+) -> Plan:
+    """A STREAM-triad-like plan: a[i] = b[i] + s * c[i] on ``device``.
+
+    Triad moves three arrays (two reads, one write); the flow's
+    logical bytes are the total traffic.
+    """
+    if device not in ("ddr", "mcdram"):
+        raise ConfigError(f"unknown device {device!r}")
+    flow = Flow(
+        name=f"triad-{device}",
+        threads=threads,
+        per_thread_rate=getattr(node, device).per_thread_rate_bound(MLP_COMP),
+        resources={device: 1.0},
+        bytes_total=3 * nbytes,
+    )
+    return Plan(name=f"stream-{device}", phases=[Phase("triad", [flow])])
+
+
+def measure_bandwidth(
+    node: KNLNode, device: str, nbytes: float = 4 * GiB, threads: int = 256
+) -> float:
+    """Measured bandwidth of ``device`` in bytes/s (saturating run)."""
+    plan = stream_triad_plan(node, device, nbytes, threads)
+    result = node.run(plan)
+    return plan.total_bytes / result.elapsed
+
+
+def measure_per_thread_rates(node: KNLNode) -> tuple[float, float]:
+    """Single-thread (S_copy, S_comp) from latency-bound micro-runs.
+
+    A copy thread's rate is bounded by the slower of the two devices
+    it touches; a compute thread streams MCDRAM only.
+    """
+    s_copy = min(
+        node.ddr.per_thread_rate_bound(MLP_COPY),
+        node.mcdram.per_thread_rate_bound(MLP_COPY + 2),
+    )
+    s_comp = node.mcdram.per_thread_rate_bound(MLP_COMP)
+    # Validate by actually running one-thread flows.
+    nbytes = 1 * GB
+    copy_flow = Flow("copy1", 1, s_copy, {"ddr": 1.0, "mcdram": 1.0}, nbytes)
+    comp_flow = Flow("comp1", 1, s_comp, {"mcdram": 1.0}, nbytes)
+    r1 = run_flows([copy_flow], node.resources())
+    r2 = run_flows([comp_flow], node.resources())
+    return nbytes / r1.elapsed, nbytes / r2.elapsed
+
+
+def host_stream(n: int = 5_000_000, dtype=np.float64) -> dict[str, float]:
+    """Run the four STREAM kernels on the *host* with NumPy and return
+    achieved bandwidths in bytes/s.
+
+    Not used by any experiment (the paper's numbers come from the
+    simulated node); provided so examples can contrast the host's
+    memory system with the simulated KNL.
+    """
+    import time
+
+    if n < 1:
+        raise ConfigError("n must be >= 1")
+    a = np.zeros(n, dtype=dtype)
+    b = np.random.default_rng(0).random(n).astype(dtype)
+    c = np.random.default_rng(1).random(n).astype(dtype)
+    s = 3.0
+    item = np.dtype(dtype).itemsize
+    out: dict[str, float] = {}
+
+    def timed(label: str, nbytes: float, fn) -> None:
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        out[label] = nbytes / max(dt, 1e-9)
+
+    timed("copy", 2 * n * item, lambda: np.copyto(a, b))
+    timed("scale", 2 * n * item, lambda: np.multiply(b, s, out=a))
+    timed("add", 3 * n * item, lambda: np.add(b, c, out=a))
+
+    def triad():
+        np.multiply(c, s, out=a)
+        np.add(a, b, out=a)
+
+    timed("triad", 3 * n * item, triad)
+    return out

@@ -1,0 +1,85 @@
+"""Command-line entry point: run any experiment driver.
+
+Usage::
+
+    repro-knl table1              # or: python -m repro table1
+    repro-knl figure8 --csv out.csv
+    repro-knl all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.report import render_series, render_table, to_csv
+
+#: Experiments rendered as series charts rather than plain tables.
+_SERIES = {
+    "figure6": ("algorithm", ["speedup"]),
+    "figure7": ("chunk_elements", ["flat_s", "implicit_s"]),
+    "figure8": ("copy_threads", ["model_s", "empirical_s"]),
+    "nvm": ("strategy", ["seconds"]),
+    "hybrid": ("config", ["seconds"]),
+    "energy": ("algorithm", ["energy_j"]),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-knl",
+        description=(
+            "Reproduce the tables and figures of 'Optimizing for KNL Usage "
+            "Modes When Data Doesn't Fit in MCDRAM' (ICPP 2018) on a "
+            "simulated KNL node."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*ALL_EXPERIMENTS, "all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        help="also write the rows as CSV to PATH (or '-' for stdout)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figures as ASCII series charts instead of tables",
+    )
+    return parser
+
+
+def _emit(result, args) -> None:
+    if args.chart and result.experiment in _SERIES:
+        x, ys = _SERIES[result.experiment]
+        print(render_series(result, x, ys))
+    else:
+        print(render_table(result))
+    print()
+    if args.csv:
+        text = to_csv(result)
+        if args.csv == "-":
+            sys.stdout.write(text)
+        else:
+            path = args.csv
+            if args.experiment == "all":
+                path = f"{result.experiment}-{path}"
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _emit(ALL_EXPERIMENTS[name](), args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Model-driven configuration choices: chunk size and thread split.
+
+The paper's guidance (Sections 3.2 and 4.2): use the largest chunk the
+near memory allows (Fig. 7 shows time falling monotonically with chunk
+size) and the model-optimal number of copy threads (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.core.modes import UsageMode
+from repro.model.optimizer import optimal_copy_threads
+from repro.model.params import ModelParams
+from repro.simknl.node import KNLNode
+from repro.threads.pool import PoolSet
+from repro.units import INT64
+
+
+def plan_chunk_bytes(
+    node: KNLNode,
+    mode: UsageMode,
+    total_bytes: int,
+    buffered: bool = True,
+    element_size: int = INT64,
+) -> int:
+    """Largest chunk size (bytes) the usage mode permits.
+
+    Flat/hybrid must fit all live buffers in addressable MCDRAM
+    (3 when buffered). Implicit mode sizes chunks to the hardware
+    cache so a *generic* streaming kernel re-hits on every pass after
+    the cold fill — MLM-sort's megachunk-beyond-MCDRAM trick is
+    specific to divide-and-conquer kernels whose active sets shrink
+    (pass ``megachunk_elements`` explicitly there). Cache and DDR
+    modes process the data set in place.
+    """
+    if total_bytes <= 0:
+        raise ConfigError("total_bytes must be positive")
+    if mode in (UsageMode.FLAT, UsageMode.HYBRID):
+        buffers = 3 if buffered else 1
+        budget = int(node.addressable_mcdram) // buffers
+        budget = (budget // element_size) * element_size
+        if budget < element_size:
+            raise ConfigError(
+                f"mode {mode.value!r} has no addressable MCDRAM for buffers"
+            )
+        return min(budget, total_bytes)
+    if mode is UsageMode.IMPLICIT:
+        if node.cache_model is None:
+            raise ConfigError("implicit mode requires a cache-mode node")
+        budget = int(node.cache_model.usable_capacity)
+        budget = (budget // element_size) * element_size
+        return min(budget, total_bytes)
+    return total_bytes
+
+
+def plan_pools(
+    node: KNLNode,
+    mode: UsageMode,
+    params: ModelParams | None = None,
+    passes: float = 1.0,
+    total_threads: int | None = None,
+) -> PoolSet:
+    """Thread split for a usage mode.
+
+    Explicit-copy modes get the model-optimal copy pools (Eqs. 1-5);
+    all other modes dedicate every thread to compute, as the paper's
+    implicit mode prescribes ("all available threads are dedicated to
+    performing the compute").
+    """
+    budget = total_threads if total_threads is not None else node.total_threads
+    if budget < 1:
+        raise ConfigError("thread budget must be >= 1")
+    if mode in (UsageMode.FLAT, UsageMode.HYBRID) and budget >= 3:
+        p = params or ModelParams()
+        best = optimal_copy_threads(p, total_threads=budget, passes=passes)
+        return PoolSet.split(
+            node,
+            compute=budget - 2 * best.p_in,
+            copy_in=best.p_in,
+            copy_out=best.p_in,
+        )
+    return PoolSet.compute_only(node, threads=budget)

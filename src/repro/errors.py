@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigError(ReproError):
+    """An invalid machine, mode, or algorithm configuration."""
+
+
+class CapacityError(ReproError):
+    """An allocation or plan exceeds a device's capacity."""
+
+
+class AllocationError(ReproError):
+    """The simulated allocator could not satisfy a request."""
+
+
+class PlanError(ReproError):
+    """A timing plan is malformed (empty phase, negative bytes, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""

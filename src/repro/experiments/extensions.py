@@ -1,0 +1,543 @@
+"""Extension experiments beyond the paper's published artifacts.
+
+These implement the paper's stated future work and the ablations
+DESIGN.md calls out:
+
+* ``nvm``        — three-level memory (NVM/DDR/MCDRAM) with double
+  chunking (conclusion's future work);
+* ``designspace``— model-driven hardware design-point exploration
+  (conclusion's future work);
+* ``hybrid``     — hybrid-mode cache-fraction sweep (Section 4.2
+  reports "near identical to flat"; we verify across fractions);
+* ``ablation``   — switch off individual cost-model mechanisms and
+  observe which paper phenomena disappear;
+* ``oblivious``  — cache-oblivious mergesort vs the cache-aware MLM
+  variants (Section 2.1's conjecture);
+* ``energy``     — energy and energy-delay comparison of the Table 1
+  variants (the introduction's energy motivation).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.costs import SortCostModel
+from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
+from repro.algorithms.oblivious import oblivious_sort_plan
+from repro.core.kernel import StreamKernel
+from repro.core.modes import UsageMode
+from repro.core.multilevel import ThreeLevelConfig, ThreeLevelPipeline
+from repro.experiments.runner import (
+    ExperimentResult,
+    VARIANTS,
+    sort_variant_run,
+)
+from repro.model.designspace import (
+    crossover_passes,
+    sweep_bandwidth_ratio,
+    sweep_far_bandwidth,
+)
+from repro.simknl.energy import EnergyModel
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.units import GiB
+
+
+def run_nvm(
+    data_gib: float = 100.0, passes: float = 8.0
+) -> ExperimentResult:
+    """Three-level chunking strategies over NVM-resident data."""
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    cfg = ThreeLevelConfig(data_bytes=int(data_gib * GiB))
+    pipe = ThreeLevelPipeline(node, StreamKernel(passes=passes), cfg)
+    rows = []
+    for strategy, res in pipe.compare().items():
+        rows.append(
+            {
+                "strategy": strategy,
+                "seconds": res.elapsed,
+                "nvm_gb": res.traffic.get("nvm", 0.0) / 1e9,
+                "ddr_gb": res.traffic.get("ddr", 0.0) / 1e9,
+                "mcdram_gb": res.traffic.get("mcdram", 0.0) / 1e9,
+            }
+        )
+    return ExperimentResult(
+        experiment="nvm",
+        title=f"Extension: three-level memory, {data_gib:g} GiB in NVM",
+        columns=["strategy", "seconds", "nvm_gb", "ddr_gb", "mcdram_gb"],
+        rows=rows,
+        notes=[
+            "paper future work: 'there may be double levels of chunking to "
+            "consider' for NVM-class capacity levels",
+            "for streaming kernels double-level chunking matches "
+            "single-level (the DDR hop adds traffic but hides behind NVM); "
+            "its value is enabling outer-chunk-sized working sets",
+        ],
+    )
+
+
+def run_designspace(passes: float = 4.0) -> ExperimentResult:
+    """Model-driven sweep of hypothetical device bandwidths."""
+    rows = []
+    for pt in sweep_bandwidth_ratio(passes=passes):
+        rows.append(
+            {
+                "sweep": "mcdram/ddr ratio",
+                "x": round(pt.bandwidth_ratio, 2),
+                "best_p_in": pt.best_p_in,
+                "best_time_s": pt.best_time,
+                "bound": "copy" if pt.copy_bound else "compute",
+            }
+        )
+    for pt in sweep_far_bandwidth(passes=passes):
+        rows.append(
+            {
+                "sweep": "ddr GB/s",
+                "x": round(pt.ddr_max / 1e9, 1),
+                "best_p_in": pt.best_p_in,
+                "best_time_s": pt.best_time,
+                "bound": "copy" if pt.copy_bound else "compute",
+            }
+        )
+    xover = crossover_passes()
+    return ExperimentResult(
+        experiment="designspace",
+        title="Extension: hardware design-space exploration (Eqs. 1-5)",
+        columns=["sweep", "x", "best_p_in", "best_time_s", "bound"],
+        rows=rows,
+        notes=[
+            f"copy->compute bound crossover at ~{xover:.1f} passes for the "
+            "Table 2 machine",
+            "paper future work: 'explore alternative configurations ... "
+            "suggesting more optimal design points'",
+        ],
+    )
+
+
+def run_hybrid(
+    n: int = 2_000_000_000,
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75),
+    megachunk: int = 500_000_000,
+) -> ExperimentResult:
+    """MLM-sort across hybrid cache fractions vs pure flat."""
+    flat_node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    t_flat = flat_node.run(
+        mlm_sort_plan(flat_node, MLMSortConfig(n, megachunk, UsageMode.FLAT))
+    ).elapsed
+    rows = [
+        {
+            "config": "flat",
+            "cache_fraction": 0.0,
+            "seconds": t_flat,
+            "vs_flat": 1.0,
+        }
+    ]
+    for frac in fractions:
+        node = KNLNode(
+            KNLNodeConfig(mode=MemoryMode.HYBRID, hybrid_cache_fraction=frac)
+        )
+        t = node.run(
+            mlm_sort_plan(node, MLMSortConfig(n, megachunk, UsageMode.HYBRID))
+        ).elapsed
+        rows.append(
+            {
+                "config": f"hybrid-{int(frac * 100)}",
+                "cache_fraction": frac,
+                "seconds": t,
+                "vs_flat": t / t_flat,
+            }
+        )
+    return ExperimentResult(
+        experiment="hybrid",
+        title="Extension: hybrid cache-fraction sweep (MLM-sort, 2B random)",
+        columns=["config", "cache_fraction", "seconds", "vs_flat"],
+        rows=rows,
+        notes=[
+            "paper Section 4.2: 'hybrid mode shows near identical "
+            "performance to flat, given a chunk size' — verified across "
+            "fractions at a chunk that fits every split",
+        ],
+    )
+
+
+def run_ablation(n: int = 2_000_000_000) -> ExperimentResult:
+    """Disable individual cost mechanisms and watch phenomena vanish."""
+    base = SortCostModel()
+    scenarios = {
+        "full model": base,
+        "no chunk overhead": base.replace(chunk_overhead_s=0.0),
+        "no thrash penalty": base.replace(thrash_rate_factor=1.0),
+        "no gnu overhead": base.replace(
+            gnu_level_overhead=base.level_overhead
+        ),
+        "no reverse shortcut": base.replace(
+            reverse_factor_mlm=1.0, reverse_factor_gnu=1.0
+        ),
+    }
+    rows = []
+    for label, cost in scenarios.items():
+        gnu = sort_variant_run("GNU-flat", n, "random", cost).elapsed
+        sort_t = sort_variant_run("MLM-sort", n, "random", cost).elapsed
+        imp = sort_variant_run("MLM-implicit", n, "random", cost).elapsed
+        rev = sort_variant_run("MLM-implicit", n, "reverse", cost).elapsed
+        rows.append(
+            {
+                "scenario": label,
+                "gnu_flat_s": gnu,
+                "mlm_sort_s": sort_t,
+                "mlm_implicit_s": imp,
+                "implicit_reverse_s": rev,
+                "headline_speedup": gnu / imp,
+            }
+        )
+    return ExperimentResult(
+        experiment="ablation",
+        title="Extension: cost-model ablations (2B elements)",
+        columns=[
+            "scenario",
+            "gnu_flat_s",
+            "mlm_sort_s",
+            "mlm_implicit_s",
+            "implicit_reverse_s",
+            "headline_speedup",
+        ],
+        rows=rows,
+        notes=[
+            "'no gnu overhead' collapses the MLM-ddr vs GNU-flat gap; "
+            "'no reverse shortcut' removes the reverse-order advantage",
+        ],
+    )
+
+
+def run_oblivious(n: int = 2_000_000_000) -> ExperimentResult:
+    """Cache-oblivious sorts vs cache-aware MLM variants."""
+    from repro.algorithms.funnelsort import funnelsort_plan
+
+    rows = []
+    for order in ("random", "reverse"):
+        cache_node = KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
+        t_obl = cache_node.run(
+            oblivious_sort_plan(cache_node, n, order, UsageMode.CACHE)
+        ).elapsed
+        t_fun = cache_node.run(
+            funnelsort_plan(cache_node, n, order, UsageMode.CACHE)
+        ).elapsed
+        t_imp = sort_variant_run("MLM-implicit", n, order).elapsed
+        t_gnu = sort_variant_run("GNU-cache", n, order).elapsed
+        rows.append(
+            {
+                "order": order,
+                "funnelsort_s": t_fun,
+                "oblivious_s": t_obl,
+                "mlm_implicit_s": t_imp,
+                "gnu_cache_s": t_gnu,
+                "oblivious_vs_implicit": t_obl / t_imp,
+            }
+        )
+    return ExperimentResult(
+        experiment="oblivious",
+        title="Extension: cache-oblivious sorts in hardware cache mode",
+        columns=[
+            "order",
+            "funnelsort_s",
+            "oblivious_s",
+            "mlm_implicit_s",
+            "gnu_cache_s",
+            "oblivious_vs_implicit",
+        ],
+        rows=rows,
+        notes=[
+            "Section 2.1 conjecture: oblivious variants 'might eventually "
+            "perform as well without requiring tuning' — ours lands between "
+            "the tuned MLM variants and the GNU baseline",
+        ],
+    )
+
+
+def run_pollution(
+    victim_gib: float = 6.0,
+    victim_passes: int = 16,
+    copy_traffic_gib: float = 30.0,
+) -> ExperimentResult:
+    """Fig. 4's cache-pollution effect, quantified.
+
+    A legacy kernel ("victim") re-reads a cache-resident working set
+    ``victim_passes`` times. In hybrid mode a chunked kernel's copy
+    streams flow through the same cache portion, evicting the victim's
+    lines between passes. We compare the victim's time with a
+    dedicated full cache, with a polluted hybrid cache half, and with
+    no cache at all.
+    """
+    from repro.simknl.cache_analytic import StreamingCacheModel
+    from repro.simknl.engine import Phase, Plan
+    from repro.simknl.flows import Flow
+    from repro.units import GiB
+
+    ws = victim_gib * GiB
+    pollution_per_pass = copy_traffic_gib * GiB / victim_passes
+
+    def victim_time(cache_capacity: float | None, polluted: bool) -> float:
+        node = KNLNode(
+            KNLNodeConfig(
+                mode=MemoryMode.CACHE
+                if cache_capacity
+                else MemoryMode.FLAT
+            )
+        )
+        if cache_capacity is None:
+            res = {"ddr": 1.0}
+        else:
+            model = StreamingCacheModel(cache_capacity)
+            traffic = (
+                model.stream_with_pollution(
+                    ws,
+                    passes=victim_passes,
+                    pollution_bytes_per_pass=pollution_per_pass,
+                )
+                if polluted
+                else model.stream(ws, passes=victim_passes)
+            )
+            logical = ws * victim_passes
+            res = {
+                "mcdram": traffic.mcdram_bytes / logical,
+                "ddr": traffic.ddr_bytes / logical,
+            }
+        flow = Flow("victim", 256, 6.78e9, res, ws * victim_passes)
+        return node.run(Plan("p", [Phase("victim", [flow])])).elapsed
+
+    full = victim_time(16 * GiB, polluted=False)
+    hybrid_clean = victim_time(8 * GiB, polluted=False)
+    hybrid_polluted = victim_time(8 * GiB, polluted=True)
+    ddr_only = victim_time(None, polluted=False)
+    rows = [
+        {"scenario": "full cache, no copies", "victim_s": full},
+        {"scenario": "hybrid half-cache, no copies", "victim_s": hybrid_clean},
+        {"scenario": "hybrid half-cache, copy pollution", "victim_s": hybrid_polluted},
+        {"scenario": "no cache (DDR)", "victim_s": ddr_only},
+    ]
+    return ExperimentResult(
+        experiment="pollution",
+        title="Extension: hybrid-mode cache pollution (Fig. 4 effect)",
+        columns=["scenario", "victim_s"],
+        rows=rows,
+        notes=[
+            "paper Section 3.1: 'MCDRAM cache is often polluted by the "
+            "copy-in and copy-out data, making it less effective'",
+            f"victim: {victim_gib:g} GiB x {victim_passes} passes; "
+            f"pollution: {copy_traffic_gib:g} GiB of copy traffic",
+        ],
+    )
+
+
+def run_external(n_fits: int = 2_000_000_000) -> ExperimentResult:
+    """Out-of-core sort vs in-memory MLM-sort (Section 2.2 contrast).
+
+    When the data fits DDR the in-memory sort wins by a wide margin;
+    when it exceeds DDR (the 16 B-element row: 128 GB > 96 GiB) the
+    external sort is the only option, and its time is set by disk
+    round-trips.
+    """
+    from repro.algorithms.external_sort import run_external_sort_plan
+    from repro.units import GiB
+
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    t_mlm = sort_variant_run("MLM-sort", n_fits, "random").elapsed
+    t_ext_small = run_external_sort_plan(
+        node, n_fits, memory_budget_bytes=14 * GiB
+    ).elapsed
+    n_big = 16_000_000_000  # 128 GB > the node's 96 GiB DDR
+    t_ext_big = run_external_sort_plan(
+        node, n_big, memory_budget_bytes=64 * GiB
+    ).elapsed
+    rows = [
+        {
+            "config": f"{n_fits // 10**9}B in-memory MLM-sort",
+            "seconds": t_mlm,
+            "feasible_in_memory": True,
+        },
+        {
+            "config": f"{n_fits // 10**9}B external sort",
+            "seconds": t_ext_small,
+            "feasible_in_memory": True,
+        },
+        {
+            "config": f"{n_big // 10**9}B external sort",
+            "seconds": t_ext_big,
+            "feasible_in_memory": False,
+        },
+    ]
+    return ExperimentResult(
+        experiment="external",
+        title="Extension: out-of-core sorting vs in-memory MLM-sort",
+        columns=["config", "seconds", "feasible_in_memory"],
+        rows=rows,
+        notes=[
+            "Section 2.2: out-of-core algorithms handle data beyond DDR "
+            "at the price of disk round-trips; in-memory MLM-sort wins "
+            "whenever the data fits",
+        ],
+    )
+
+
+def run_adaptive(
+    data_gib: float = 32.0,
+    passes: int = 8,
+    shrink_fraction: float = 0.5,
+) -> ExperimentResult:
+    """Cache-adaptive behaviour under fluctuating cache capacity.
+
+    Section 2.1 cites cache-adaptive algorithms as "useful in a future
+    in which high-performance computing jobs must deal with
+    fluctuating resource allocations". Scenario: a co-scheduled job
+    claims half the MCDRAM cache for the middle third of the run.
+    Three tunings of a chunked streaming kernel compete:
+
+    * ``aware-full``  — chunks sized to the *full* cache (optimal when
+      stable, thrashes when the cache shrinks under it);
+    * ``aware-half``  — chunks conservatively sized to the shrunken
+      cache (never thrashes, more chunks and cold fills always);
+    * ``adaptive-dc`` — a divide-and-conquer kernel whose active sets
+      halve per level: only the top level(s) feel the shrink, the
+      cache-oblivious property the paper's related work describes.
+    """
+    from repro.simknl.cache_analytic import StreamingCacheModel
+    from repro.simknl.engine import Phase, Plan
+    from repro.simknl.flows import Flow
+    from repro.units import GiB
+    import math
+
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
+    full_c = node.cache_model.usable_capacity
+    small_c = full_c * shrink_fraction
+    data = data_gib * GiB
+
+    def phase_caches(num_chunks: int, fluctuating: bool) -> list[float]:
+        if not fluctuating:
+            return [full_c] * num_chunks
+        lo, hi = num_chunks // 3, 2 * num_chunks // 3
+        return [
+            small_c if lo <= i < hi else full_c for i in range(num_chunks)
+        ]
+
+    chunk_overhead = 0.30  # the Fig. 7 per-chunk fixed cost
+
+    def streaming_time(chunk_bytes: float, fluctuating: bool) -> float:
+        num = max(1, int(round(data / chunk_bytes)))
+        plan = Plan("aware")
+        for i, cap in enumerate(phase_caches(num, fluctuating)):
+            model = StreamingCacheModel(cap)
+            traffic = model.stream(chunk_bytes, passes=2 * passes, write_fraction=0.5)
+            logical = chunk_bytes * 2 * passes
+            res = {
+                "mcdram": traffic.mcdram_bytes / logical,
+                "ddr": traffic.ddr_bytes / logical,
+            }
+            plan.add(
+                Phase(
+                    f"chunk{i}",
+                    [
+                        Flow("compute", 256, 6.78e9, res, logical),
+                    ],
+                )
+            )
+            plan.add(
+                Phase(
+                    f"chunk{i}/setup",
+                    [Flow("setup", 1, 1.0, {}, chunk_overhead)],
+                )
+            )
+        return node.run(plan).elapsed
+
+    def dc_time(fluctuating: bool) -> float:
+        # One d&c kernel over the whole data: split its level work
+        # between the full- and shrunk-cache windows.
+        levels = 1.15 * (12.0 + 0.35 * math.log2(data / 256 / 8))
+        plan = Plan("adaptive-dc")
+        for window, cap in (
+            (1 / 3, full_c),
+            (1 / 3, small_c if fluctuating else full_c),
+            (1 / 3, full_c),
+        ):
+            uncached = max(0.0, math.log2(data / cap))
+            window_levels = levels * window
+            thrash = min(window_levels, uncached)
+            cached = window_levels - thrash
+            if thrash > 0:
+                model = StreamingCacheModel(cap)
+                t = model.stream(data, passes=1, write_fraction=0.5)
+                res = {
+                    "mcdram": t.mcdram_bytes / data,
+                    "ddr": t.ddr_bytes / data,
+                }
+                plan.add(
+                    Phase(
+                        f"thrash@{cap:.0f}",
+                        [Flow("dc", 256, 0.21e9 * 0.7, res, data * thrash)],
+                    )
+                )
+            plan.add(
+                Phase(
+                    f"cached@{cap:.0f}",
+                    [Flow("dc", 256, 0.21e9, {"mcdram": 2.0 / 0.85}, data * cached)],
+                )
+            )
+        return node.run(plan).elapsed
+
+    rows = []
+    for label, fn in (
+        ("aware-full", lambda f: streaming_time(full_c, f)),
+        ("aware-half", lambda f: streaming_time(small_c, f)),
+        ("adaptive-dc", dc_time),
+    ):
+        stable = fn(False)
+        fluct = fn(True)
+        rows.append(
+            {
+                "strategy": label,
+                "stable_s": stable,
+                "fluctuating_s": fluct,
+                "degradation": fluct / stable,
+            }
+        )
+    return ExperimentResult(
+        experiment="adaptive",
+        title="Extension: fluctuating cache capacity (cache-adaptivity)",
+        columns=["strategy", "stable_s", "fluctuating_s", "degradation"],
+        rows=rows,
+        notes=[
+            "Section 2.1: cache-adaptive algorithms 'tolerate changes to "
+            "system resources during the run'; the d&c kernel's shrinking "
+            "active sets give it that tolerance for free",
+        ],
+    )
+
+
+def run_energy(n: int = 2_000_000_000) -> ExperimentResult:
+    """Energy and energy-delay product across the Table 1 variants."""
+    model = EnergyModel()
+    rows = []
+    for variant in VARIANTS:
+        res = sort_variant_run(variant, n, "random")
+        rep = model.report(res)
+        rows.append(
+            {
+                "algorithm": variant,
+                "seconds": res.elapsed,
+                "energy_j": rep.total_joules,
+                "edp_js": rep.energy_delay_product,
+                "ddr_dynamic_j": rep.dynamic_joules.get("ddr", 0.0),
+            }
+        )
+    return ExperimentResult(
+        experiment="energy",
+        title="Extension: energy comparison (2B random elements)",
+        columns=[
+            "algorithm",
+            "seconds",
+            "energy_j",
+            "edp_js",
+            "ddr_dynamic_j",
+        ],
+        rows=rows,
+        notes=[
+            "MCDRAM traffic costs ~3x less per byte than DDR, so the "
+            "chunked variants win on energy as well as time",
+        ],
+    )

@@ -1,0 +1,58 @@
+"""Figure 8: merge-benchmark execution time vs copy threads.
+
+Fig. 8(a) shows the model's estimated times (Eqs. 1-5); Fig. 8(b)
+shows the measured times. We reproduce both: the model curves come
+from :mod:`repro.model.analytic`, the empirical curves from running
+the buffered pipeline on the simulated node.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.merge_bench import MergeBenchConfig, run_merge_bench
+from repro.experiments.runner import ExperimentResult
+from repro.model.analytic import predict
+from repro.model.params import ModelParams
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+
+DEFAULT_REPEATS = (1, 2, 4, 8, 16, 32, 64)
+DEFAULT_COPY_THREADS = (1, 2, 4, 8, 16, 32)
+
+
+def run_figure8(
+    repeats: tuple[int, ...] = DEFAULT_REPEATS,
+    copy_threads: tuple[int, ...] = DEFAULT_COPY_THREADS,
+    total_threads: int = 256,
+) -> ExperimentResult:
+    """Model (8a) and empirical (8b) time curves."""
+    params = ModelParams()
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    rows = []
+    for r in repeats:
+        for p in copy_threads:
+            p_comp = total_threads - 2 * p
+            model_t = predict(params, p_comp, p, p, passes=r).t_total
+            emp_t = run_merge_bench(
+                node,
+                MergeBenchConfig(
+                    repeats=r, copy_in_threads=p, total_threads=total_threads
+                ),
+            ).elapsed
+            rows.append(
+                {
+                    "repeats": r,
+                    "copy_threads": p,
+                    "model_s": model_t,
+                    "empirical_s": emp_t,
+                }
+            )
+    return ExperimentResult(
+        experiment="figure8",
+        title="Figure 8: merge benchmark time vs copy threads "
+        "(model = 8a, empirical = 8b)",
+        columns=["repeats", "copy_threads", "model_s", "empirical_s"],
+        rows=rows,
+        notes=[
+            "empirical curves include pipeline fill/drain, which the "
+            "closed-form model deliberately neglects"
+        ],
+    )

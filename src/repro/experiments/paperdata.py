@@ -1,0 +1,71 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Source: Butcher et al., ICPP 2018, Tables 1-3. Where we suspect a typo
+in the published table, the value is kept as printed and the suspicion
+recorded in the driver's notes.
+"""
+
+from __future__ import annotations
+
+#: Table 1: (elements, order, algorithm) -> mean seconds, as printed.
+TABLE1_SECONDS: dict[tuple[int, str, str], float] = {
+    (2_000_000_000, "random", "GNU-flat"): 11.92,
+    (2_000_000_000, "random", "GNU-cache"): 9.73,
+    (2_000_000_000, "random", "MLM-ddr"): 9.28,
+    (2_000_000_000, "random", "MLM-sort"): 8.09,
+    (2_000_000_000, "random", "MLM-implicit"): 7.37,
+    (4_000_000_000, "random", "GNU-flat"): 24.21,
+    (4_000_000_000, "random", "GNU-cache"): 19.76,
+    (4_000_000_000, "random", "MLM-ddr"): 18.74,
+    (4_000_000_000, "random", "MLM-sort"): 16.28,
+    (4_000_000_000, "random", "MLM-implicit"): 14.56,
+    (6_000_000_000, "random", "GNU-flat"): 36.52,
+    (6_000_000_000, "random", "GNU-cache"): 29.53,
+    # As printed; duplicates the 4B row and is likely a typo (~28 s by
+    # linear scaling of the neighbouring MLM-ddr cells).
+    (6_000_000_000, "random", "MLM-ddr"): 18.74,
+    (6_000_000_000, "random", "MLM-sort"): 22.71,
+    (6_000_000_000, "random", "MLM-implicit"): 21.66,
+    (2_000_000_000, "reverse", "GNU-flat"): 7.97,
+    (2_000_000_000, "reverse", "GNU-cache"): 7.19,
+    (2_000_000_000, "reverse", "MLM-ddr"): 4.79,
+    (2_000_000_000, "reverse", "MLM-sort"): 4.46,
+    (2_000_000_000, "reverse", "MLM-implicit"): 4.10,
+    (4_000_000_000, "reverse", "GNU-flat"): 16.06,
+    (4_000_000_000, "reverse", "GNU-cache"): 14.27,
+    (4_000_000_000, "reverse", "MLM-ddr"): 9.53,
+    (4_000_000_000, "reverse", "MLM-sort"): 9.02,
+    (4_000_000_000, "reverse", "MLM-implicit"): 8.31,
+    (6_000_000_000, "reverse", "GNU-flat"): 23.94,
+    (6_000_000_000, "reverse", "GNU-cache"): 21.85,
+    (6_000_000_000, "reverse", "MLM-ddr"): 14.48,
+    (6_000_000_000, "reverse", "MLM-sort"): 12.56,
+    (6_000_000_000, "reverse", "MLM-implicit"): 12.76,
+}
+
+#: Table 2 parameter values (bytes and bytes/s).
+TABLE2_PARAMS = {
+    "B_copy": 14.9e9,
+    "DDR_max": 90e9,
+    "MCDRAM_max": 400e9,
+    "S_copy": 4.8e9,
+    "S_comp": 6.78e9,
+}
+
+#: Table 3: repeats -> (model-optimal p_in, empirical power-of-two p_in).
+TABLE3_OPTIMAL = {
+    1: (10, 16),
+    2: (10, 16),
+    4: (10, 8),
+    8: (8, 4),
+    16: (3, 2),
+    32: (2, 2),
+    64: (1, 1),
+}
+
+#: Conclusions quoted in Section 6.
+HEADLINE_SPEEDUP_RANGE = (1.6, 1.9)
+
+#: Bender et al. predictions the paper corroborates (Sections 2.3, 4).
+BENDER_PREDICTED_SPEEDUP = 1.30
+BENDER_PREDICTED_DDR_TRAFFIC_REDUCTION = 2.5

@@ -1,0 +1,109 @@
+"""Shared experiment infrastructure.
+
+:func:`sort_variant_seconds` maps the paper's algorithm labels
+(GNU-flat, GNU-cache, MLM-ddr, MLM-sort, MLM-implicit) to the right
+node configuration and timed plan; :class:`ExperimentResult` is the
+uniform record every driver returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigError
+from repro.algorithms.costs import SortCostModel
+from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
+from repro.algorithms.parallel_sort import gnu_sort_plan
+from repro.core.modes import UsageMode
+from repro.simknl.engine import RunResult
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+
+#: Paper algorithm labels in Table 1 order.
+VARIANTS = ("GNU-flat", "GNU-cache", "MLM-ddr", "MLM-sort", "MLM-implicit")
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform result record for all drivers.
+
+    Attributes
+    ----------
+    experiment:
+        Identifier, e.g. ``"table1"``.
+    title:
+        Human-readable title.
+    columns:
+        Ordered column names of ``rows``.
+    rows:
+        One dict per reported row.
+    notes:
+        Free-form annotations (substitutions, known deviations).
+    """
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ConfigError(f"unknown column {name!r}")
+        return [r.get(name) for r in self.rows]
+
+
+def node_for_variant(variant: str) -> KNLNode:
+    """A node booted into the BIOS mode the variant needs."""
+    if variant in ("GNU-cache", "MLM-implicit"):
+        return KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+
+
+def paper_megachunk(n: int) -> int:
+    """The megachunk sizes the paper reports using for MLM-sort:
+    1.5 B elements for the 6 B runs, 1 B otherwise."""
+    return 1_500_000_000 if n >= 6_000_000_000 else 1_000_000_000
+
+
+def sort_variant_run(
+    variant: str,
+    n: int,
+    order: str,
+    cost: SortCostModel | None = None,
+    megachunk: int | None = None,
+    threads: int = 256,
+) -> RunResult:
+    """Execute one Table-1 algorithm variant at paper scale."""
+    if variant not in VARIANTS:
+        raise ConfigError(f"unknown variant {variant!r}; one of {VARIANTS}")
+    cost = cost or SortCostModel()
+    node = node_for_variant(variant)
+    if variant == "GNU-flat":
+        plan = gnu_sort_plan(node, n, order, UsageMode.DDR, threads, cost)
+    elif variant == "GNU-cache":
+        plan = gnu_sort_plan(node, n, order, UsageMode.CACHE, threads, cost)
+    else:
+        if variant == "MLM-implicit":
+            mode, mega = UsageMode.IMPLICIT, n
+        elif variant == "MLM-sort":
+            mode, mega = UsageMode.FLAT, megachunk or paper_megachunk(n)
+        else:  # MLM-ddr
+            mode, mega = UsageMode.DDR, megachunk or paper_megachunk(n)
+        cfg = MLMSortConfig(
+            n=n, megachunk_elements=mega, mode=mode, order=order, threads=threads
+        )
+        plan = mlm_sort_plan(node, cfg, cost)
+    return node.run(plan)
+
+
+def sort_variant_seconds(
+    variant: str,
+    n: int,
+    order: str,
+    cost: SortCostModel | None = None,
+    megachunk: int | None = None,
+) -> float:
+    """Simulated execution time of one variant, in seconds."""
+    return sort_variant_run(variant, n, order, cost, megachunk).elapsed

@@ -1,0 +1,36 @@
+"""Simulated memkind: heap management over heterogeneous memory.
+
+The paper's flat-mode experiments allocate into MCDRAM via the memkind
+library's ``hbw_malloc()``. This package reproduces that API surface on
+top of the simulated node: *kinds* select a placement policy
+(bind / preferred / interleave across DDR and MCDRAM), a first-fit
+free-list heap manages each device's address range, and the numactl
+``--preferred`` behaviour used by Li et al. (allocate in MCDRAM until
+full, then spill to DDR) is available as
+:data:`~repro.memkind.kinds.MEMKIND_HBW_PREFERRED`.
+"""
+
+from repro.memkind.kinds import (
+    Kind,
+    Policy,
+    MEMKIND_DEFAULT,
+    MEMKIND_HBW,
+    MEMKIND_HBW_PREFERRED,
+    MEMKIND_HBW_INTERLEAVE,
+)
+from repro.memkind.allocator import Allocation, Block, Heap, Region
+from repro.memkind.hbw import HbwAPI
+
+__all__ = [
+    "Kind",
+    "Policy",
+    "MEMKIND_DEFAULT",
+    "MEMKIND_HBW",
+    "MEMKIND_HBW_PREFERRED",
+    "MEMKIND_HBW_INTERLEAVE",
+    "Allocation",
+    "Block",
+    "Heap",
+    "Region",
+    "HbwAPI",
+]

@@ -1,0 +1,71 @@
+"""The memkind ``hbw_*`` convenience API over a :class:`Heap`.
+
+Mirrors the C API the paper's flat-mode code uses::
+
+    hbw_check_available();
+    int64_t *chunk = hbw_malloc(bytes);
+    ...
+    hbw_free(chunk);
+
+plus the policy selector ``hbw_set_policy`` which maps onto the
+PREFERRED/BIND kinds.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.memkind.allocator import Allocation, Heap
+from repro.memkind.kinds import (
+    MEMKIND_DEFAULT,
+    MEMKIND_HBW,
+    MEMKIND_HBW_PREFERRED,
+    Kind,
+)
+
+
+class HbwAPI:
+    """Stateful facade matching memkind's hbw_* entry points.
+
+    Parameters
+    ----------
+    heap:
+        The backing heap.
+    """
+
+    def __init__(self, heap: Heap) -> None:
+        self.heap = heap
+        self._policy_kind: Kind = MEMKIND_HBW
+
+    def check_available(self) -> bool:
+        """``hbw_check_available``: True when HBW memory is addressable."""
+        return self.heap.has_hbw()
+
+    def set_policy(self, preferred: bool) -> None:
+        """Switch between BIND (strict) and PREFERRED (spill) policies."""
+        self._policy_kind = MEMKIND_HBW_PREFERRED if preferred else MEMKIND_HBW
+
+    def malloc(self, size: int) -> Allocation:
+        """``hbw_malloc``: allocate in high-bandwidth memory.
+
+        Raises
+        ------
+        AllocationError
+            Under the strict policy when MCDRAM cannot satisfy the
+            request (including pure cache mode, where no MCDRAM is
+            addressable at all).
+        """
+        return self.heap.allocate(size, self._policy_kind)
+
+    def calloc(self, count: int, size: int) -> Allocation:
+        """``hbw_calloc``: like malloc for ``count * size`` bytes."""
+        if count <= 0 or size <= 0:
+            raise AllocationError("calloc requires positive count and size")
+        return self.malloc(count * size)
+
+    def ddr_malloc(self, size: int) -> Allocation:
+        """Plain ``malloc`` into DDR (MEMKIND_DEFAULT)."""
+        return self.heap.allocate(size, MEMKIND_DEFAULT)
+
+    def free(self, allocation: Allocation) -> None:
+        """``hbw_free``."""
+        self.heap.free(allocation)

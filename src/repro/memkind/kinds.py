@@ -1,0 +1,66 @@
+"""Memory kinds and placement policies.
+
+A *kind* names a memory target plus a fallback policy, mirroring
+memkind's ``MEMKIND_DEFAULT`` / ``MEMKIND_HBW`` / ``MEMKIND_HBW_PREFERRED``
+/ ``MEMKIND_HBW_INTERLEAVE``. The policy semantics follow the library
+(and numactl):
+
+* ``BIND`` — allocate only on the target; fail when it is exhausted.
+* ``PREFERRED`` — allocate on the target while space remains, then
+  silently spill to the fallback device. This is the numactl setting
+  Li et al. used for "flat mode without chunking", which the paper
+  contrasts with explicit chunking.
+* ``INTERLEAVE`` — stripe pages round-robin across the devices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Policy(enum.Enum):
+    """Placement policy of a kind."""
+
+    BIND = "bind"
+    PREFERRED = "preferred"
+    INTERLEAVE = "interleave"
+
+
+@dataclass(frozen=True)
+class Kind:
+    """A named memory kind.
+
+    Parameters
+    ----------
+    name:
+        memkind-style identifier.
+    target:
+        Primary device name (``"ddr"`` or ``"mcdram"``).
+    policy:
+        Placement policy.
+    fallback:
+        Device used when PREFERRED spills; ignored for BIND.
+    """
+
+    name: str
+    target: str
+    policy: Policy
+    fallback: str | None = None
+
+
+#: Plain DDR allocation.
+MEMKIND_DEFAULT = Kind("MEMKIND_DEFAULT", "ddr", Policy.BIND)
+
+#: Strict high-bandwidth allocation; fails when MCDRAM is exhausted.
+MEMKIND_HBW = Kind("MEMKIND_HBW", "mcdram", Policy.BIND)
+
+#: MCDRAM until full, then DDR (numactl --preferred behaviour).
+MEMKIND_HBW_PREFERRED = Kind(
+    "MEMKIND_HBW_PREFERRED", "mcdram", Policy.PREFERRED, fallback="ddr"
+)
+
+#: Pages striped across MCDRAM and DDR.
+MEMKIND_HBW_INTERLEAVE = Kind(
+    "MEMKIND_HBW_INTERLEAVE", "mcdram", Policy.INTERLEAVE, fallback="ddr"
+)

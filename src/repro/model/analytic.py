@@ -1,0 +1,149 @@
+"""Equations 1-5 of the paper, implemented verbatim.
+
+Notation (paper -> code):
+
+* ``T_total = max(T_copy, T_comp)``                      — Eq. 1
+* ``T_copy = 2 B / ((p_in + p_out) C_copy)``             — Eq. 2
+* ``C_copy = S_copy`` if unsaturated else ``DDR_max/p``  — Eq. 3
+* ``T_comp = 2 B Passes / (p_comp C_comp)``              — Eq. 4
+* ``C_comp = S_comp`` if MCDRAM unsaturated else the
+  per-thread share of what the copy pools leave over     — Eq. 5
+
+All byte quantities are plain bytes; rates are bytes/s. The model
+assumes symmetric copy-in/copy-out pools with equal workloads and that
+compute threads touch only MCDRAM while copy threads touch both
+levels — exactly the Section 3.2 assumptions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.model.params import ModelParams
+
+
+def copy_rate_coefficient(params: ModelParams, p_in: int, p_out: int) -> float:
+    """Eq. 3: per-thread copy rate ``C_copy`` in bytes/s."""
+    if p_in < 0 or p_out < 0:
+        raise ConfigError("copy thread counts must be non-negative")
+    p = p_in + p_out
+    if p == 0:
+        return 0.0
+    if p * params.s_copy <= params.ddr_max:
+        return params.s_copy
+    return params.ddr_max / p
+
+
+def copy_time(params: ModelParams, p_in: int, p_out: int) -> float:
+    """Eq. 2: time to move the data set into and back out of MCDRAM."""
+    p = p_in + p_out
+    if p == 0:
+        return math.inf
+    c_copy = copy_rate_coefficient(params, p_in, p_out)
+    return 2.0 * params.b_copy / (p * c_copy)
+
+
+def compute_rate_coefficient(
+    params: ModelParams, p_comp: int, p_in: int, p_out: int
+) -> float:
+    """Eq. 5: per-thread compute rate ``C_comp`` in bytes/s.
+
+    When the combined compute + copy demand exceeds MCDRAM bandwidth,
+    the copy pools take their Eq. 3 share first and the compute pool
+    divides the remainder.
+    """
+    if p_comp < 0:
+        raise ConfigError("compute thread count must be non-negative")
+    if p_comp == 0:
+        return 0.0
+    p_copy = p_in + p_out
+    demand = p_comp * params.s_comp + p_copy * params.s_copy
+    if demand <= params.mcdram_max:
+        return params.s_comp
+    c_copy = copy_rate_coefficient(params, p_in, p_out)
+    leftover = params.mcdram_max - p_copy * c_copy
+    if leftover <= 0:
+        return 0.0
+    return min(params.s_comp, leftover / p_comp)
+
+
+def compute_time(
+    params: ModelParams,
+    p_comp: int,
+    p_in: int,
+    p_out: int,
+    passes: float = 1.0,
+) -> float:
+    """Eq. 4: time for the compute pool to stream the data ``passes`` times."""
+    if passes < 0:
+        raise ConfigError("passes must be non-negative")
+    if passes == 0:
+        return 0.0
+    if p_comp == 0:
+        return math.inf
+    c_comp = compute_rate_coefficient(params, p_comp, p_in, p_out)
+    if c_comp <= 0:
+        return math.inf
+    return 2.0 * params.b_copy * passes / (p_comp * c_comp)
+
+
+def total_time(
+    params: ModelParams,
+    p_comp: int,
+    p_in: int,
+    p_out: int,
+    passes: float = 1.0,
+) -> float:
+    """Eq. 1: overall time — the slower of copying and computing."""
+    return max(
+        copy_time(params, p_in, p_out),
+        compute_time(params, p_comp, p_in, p_out, passes),
+    )
+
+
+@dataclass(frozen=True)
+class ModelPrediction:
+    """Full model output for one thread configuration."""
+
+    p_comp: int
+    p_in: int
+    p_out: int
+    passes: float
+    c_copy: float
+    c_comp: float
+    t_copy: float
+    t_comp: float
+    t_total: float
+
+    @property
+    def copy_bound(self) -> bool:
+        """True when the pipeline is limited by data movement."""
+        return self.t_copy >= self.t_comp
+
+
+def predict(
+    params: ModelParams,
+    p_comp: int,
+    p_in: int,
+    p_out: int | None = None,
+    passes: float = 1.0,
+) -> ModelPrediction:
+    """Evaluate the whole model for one configuration.
+
+    ``p_out`` defaults to ``p_in`` per the symmetric-pool assumption.
+    """
+    if p_out is None:
+        p_out = p_in
+    return ModelPrediction(
+        p_comp=p_comp,
+        p_in=p_in,
+        p_out=p_out,
+        passes=passes,
+        c_copy=copy_rate_coefficient(params, p_in, p_out),
+        c_comp=compute_rate_coefficient(params, p_comp, p_in, p_out),
+        t_copy=copy_time(params, p_in, p_out),
+        t_comp=compute_time(params, p_comp, p_in, p_out, passes),
+        t_total=total_time(params, p_comp, p_in, p_out, passes),
+    )

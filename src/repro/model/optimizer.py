@@ -1,0 +1,90 @@
+"""Search for the near-optimal number of copy threads (Table 3).
+
+The paper fixes the total thread budget (one hardware thread per
+core-slot given to the kernel) and asks: how many of them should copy?
+:func:`optimal_copy_threads` sweeps ``p_in`` (with ``p_out = p_in`` and
+``p_comp = budget - 2 p_in``), evaluates Eq. 1 for each split, and
+returns the argmin — reproducing the "Model" column of Table 3.
+:func:`sweep_copy_threads` returns the full curve behind Fig. 8(a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.model.analytic import ModelPrediction, predict
+from repro.model.params import ModelParams
+
+
+@dataclass(frozen=True)
+class OptimizerResult:
+    """Best split found by the model sweep."""
+
+    best: ModelPrediction
+    curve: tuple[ModelPrediction, ...]
+
+    @property
+    def p_in(self) -> int:
+        """Optimal copy-in thread count (same number copy out)."""
+        return self.best.p_in
+
+    @property
+    def t_total(self) -> float:
+        """Predicted execution time at the optimum."""
+        return self.best.t_total
+
+
+def sweep_copy_threads(
+    params: ModelParams,
+    total_threads: int = 256,
+    passes: float = 1.0,
+    p_in_values: list[int] | None = None,
+) -> list[ModelPrediction]:
+    """Model predictions for each candidate ``p_in``.
+
+    Parameters
+    ----------
+    params:
+        Model parameters (Table 2).
+    total_threads:
+        Thread budget ``p_comp + p_in + p_out``.
+    passes:
+        Compute passes over the data per chunk (the merge benchmark's
+        ``repeats``).
+    p_in_values:
+        Candidate copy-in counts; default is every feasible value
+        ``1 .. (total_threads - 1) // 2``.
+    """
+    if total_threads < 3:
+        raise ConfigError("need at least 3 threads (1 compute + 1 in + 1 out)")
+    if p_in_values is None:
+        p_in_values = list(range(1, (total_threads - 1) // 2 + 1))
+    out = []
+    for p_in in p_in_values:
+        p_comp = total_threads - 2 * p_in
+        if p_comp < 1:
+            continue
+        out.append(predict(params, p_comp, p_in, p_in, passes))
+    if not out:
+        raise ConfigError("no feasible thread split")
+    return out
+
+
+def optimal_copy_threads(
+    params: ModelParams,
+    total_threads: int = 256,
+    passes: float = 1.0,
+    p_in_values: list[int] | None = None,
+) -> OptimizerResult:
+    """The model's predicted optimal ``p_in`` (ties go to fewer threads)."""
+    curve = sweep_copy_threads(params, total_threads, passes, p_in_values)
+    # On the copy-bound plateau every saturating p_in yields the same
+    # time up to floating-point division noise; prefer the fewest copy
+    # threads among near-ties (they free compute resources).
+    t_min = min(m.t_total for m in curve)
+    tol = t_min * 1e-9
+    best = min(
+        (m for m in curve if m.t_total <= t_min + tol), key=lambda m: m.p_in
+    )
+    return OptimizerResult(best=best, curve=tuple(curve))

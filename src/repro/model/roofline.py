@@ -1,0 +1,91 @@
+"""Bandwidth-boundedness tests (Snir's rule and a simple roofline).
+
+Bender et al. relay a rule of thumb due to Marc Snir for deciding
+whether a computation is memory-bandwidth bound on a manycore node:
+compare the kernel's *operational intensity* (operations per byte of
+memory traffic) against the *machine balance* (aggregate compute
+throughput over memory bandwidth). Intensity below balance means the
+memory system, not the cores, sets the execution time — the regime in
+which MCDRAM helps and the paper's chunking machinery pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """A kernel placed on the roofline.
+
+    Attributes
+    ----------
+    intensity:
+        Operations per byte of traffic.
+    attainable:
+        Attainable op throughput given the roof (ops/s).
+    bandwidth_bound:
+        Whether the sloped (bandwidth) part of the roof applies.
+    """
+
+    intensity: float
+    attainable: float
+    bandwidth_bound: bool
+
+
+def machine_balance(peak_ops: float, bandwidth: float) -> float:
+    """Machine balance in ops per byte."""
+    if peak_ops <= 0 or bandwidth <= 0:
+        raise ConfigError("peak_ops and bandwidth must be positive")
+    return peak_ops / bandwidth
+
+
+def is_bandwidth_bound(
+    ops: float, traffic_bytes: float, peak_ops: float, bandwidth: float
+) -> bool:
+    """Snir's test: intensity below machine balance ⇒ bandwidth bound."""
+    if traffic_bytes <= 0:
+        raise ConfigError("traffic must be positive")
+    intensity = ops / traffic_bytes
+    return intensity < machine_balance(peak_ops, bandwidth)
+
+
+def roofline(
+    ops: float, traffic_bytes: float, peak_ops: float, bandwidth: float
+) -> RooflinePoint:
+    """Place a kernel on the classic roofline model."""
+    if traffic_bytes <= 0:
+        raise ConfigError("traffic must be positive")
+    intensity = ops / traffic_bytes
+    bw_roof = intensity * bandwidth
+    attainable = min(peak_ops, bw_roof)
+    return RooflinePoint(
+        intensity=intensity,
+        attainable=attainable,
+        bandwidth_bound=bw_roof < peak_ops,
+    )
+
+
+def sort_is_bandwidth_bound(
+    n: int,
+    element_size: int,
+    compare_ops_per_element_pass: float,
+    passes: float,
+    peak_ops: float,
+    bandwidth: float,
+) -> bool:
+    """Apply the Snir test to a multi-pass sort.
+
+    A mergesort streams ``2 * n * element_size`` bytes per pass and
+    performs roughly ``compare_ops_per_element_pass`` operations per
+    element per pass; for large core counts the intensity is far below
+    the machine balance, predicting bandwidth-boundedness (and hence
+    MCDRAM benefit), as Bender et al. argued for KNL.
+    """
+    if n <= 0 or element_size <= 0 or passes <= 0:
+        raise ConfigError("n, element_size, and passes must be positive")
+    ops = n * compare_ops_per_element_pass * passes
+    traffic = 2.0 * n * element_size * passes
+    return is_bandwidth_bound(ops, traffic, peak_ops, bandwidth)

@@ -1,0 +1,45 @@
+"""Simulated Knights Landing node.
+
+This package is the hardware substrate of the reproduction: a
+discrete-event, bandwidth-contention performance simulator of a KNL
+(Xeon Phi 7250) compute node with its two-level memory system
+(DDR4 + MCDRAM), the four MCDRAM usage modes studied by the paper
+(flat, hardware cache, hybrid, implicit cache), a line-granularity
+direct-mapped model of the MCDRAM cache, and the tile/mesh topology.
+
+The central abstraction is a *flow*: a thread pool streaming bytes
+through one or more bandwidth resources. Phase execution solves a
+max-min fair (water-filling) bandwidth allocation, which generalizes
+the paper's Equations 3 and 5.
+"""
+
+from repro.simknl.flows import Flow, Resource, allocate_rates
+from repro.simknl.engine import Engine, Phase, Plan, RunResult
+from repro.simknl.devices import MemoryDevice, ddr4_device, mcdram_device
+from repro.simknl.cache import DirectMappedCache, CacheStats
+from repro.simknl.cache_analytic import StreamingCacheModel, CacheTraffic
+from repro.simknl.topology import ClusterMode, KNLTopology, Tile
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+
+__all__ = [
+    "Flow",
+    "Resource",
+    "allocate_rates",
+    "Engine",
+    "Phase",
+    "Plan",
+    "RunResult",
+    "MemoryDevice",
+    "ddr4_device",
+    "mcdram_device",
+    "DirectMappedCache",
+    "CacheStats",
+    "StreamingCacheModel",
+    "CacheTraffic",
+    "KNLTopology",
+    "ClusterMode",
+    "Tile",
+    "KNLNode",
+    "KNLNodeConfig",
+    "MemoryMode",
+]

@@ -1,0 +1,187 @@
+"""Line-granularity direct-mapped model of the MCDRAM hardware cache.
+
+In hardware cache mode KNL's MCDRAM acts as a direct-mapped,
+64 B-line, memory-side cache in front of DDR. This module simulates
+that structure exactly (at reduced scale for testability): address →
+line → set index by modulo, single way, write-back with write-allocate,
+and a classification of misses into cold (first touch), conflict
+(line was evicted by a different line mapping to the same set while
+the working set fits), and capacity (working set exceeds the cache).
+
+The functional simulator is used by tests and by the validation suite
+that checks the *analytic* streaming model
+(:mod:`repro.simknl.cache_analytic`) against ground truth on small
+configurations; paper-scale experiments use the analytic model.
+
+A fraction of MCDRAM capacity is reserved for tags when the real
+hardware holds tag state in the array itself; the paper calls this out
+as a disadvantage of cache mode, and :class:`DirectMappedCache` models
+it via ``tag_overhead``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.units import CACHE_LINE
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by :class:`DirectMappedCache`."""
+
+    hits: int = 0
+    cold_misses: int = 0
+    conflict_misses: int = 0
+    capacity_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def misses(self) -> int:
+        """Total misses of all classes."""
+        return self.cold_misses + self.conflict_misses + self.capacity_misses
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 when no accesses yet)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = 0
+        self.cold_misses = 0
+        self.conflict_misses = 0
+        self.capacity_misses = 0
+        self.writebacks = 0
+
+
+@dataclass
+class _LineState:
+    tag: int
+    dirty: bool
+
+
+class DirectMappedCache:
+    """A direct-mapped, write-back, write-allocate cache.
+
+    Parameters
+    ----------
+    capacity:
+        Nominal cache capacity in bytes (before tag overhead).
+    line_size:
+        Cache line size in bytes (KNL: 64).
+    tag_overhead:
+        Fraction of nominal capacity consumed by tag storage; the
+        usable line count shrinks accordingly.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        line_size: int = CACHE_LINE,
+        tag_overhead: float = 0.0,
+    ) -> None:
+        if line_size <= 0:
+            raise ConfigError("line_size must be positive")
+        if capacity < line_size:
+            raise ConfigError("capacity must hold at least one line")
+        if not 0.0 <= tag_overhead < 1.0:
+            raise ConfigError("tag_overhead must be in [0, 1)")
+        usable = int(capacity * (1.0 - tag_overhead))
+        self.num_lines = max(1, usable // line_size)
+        self.line_size = line_size
+        self.capacity = capacity
+        self.tag_overhead = tag_overhead
+        self._lines: dict[int, _LineState] = {}
+        self._ever_seen: set[int] = set()
+        self.stats = CacheStats()
+
+    @property
+    def usable_capacity(self) -> int:
+        """Capacity available for data after tag overhead, in bytes."""
+        return self.num_lines * self.line_size
+
+    def _index_and_line(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_size
+        return line % self.num_lines, line
+
+    def access(self, addr: int, write: bool = False) -> bool:
+        """Access one byte address; returns True on hit.
+
+        A miss installs the line (write-allocate); evicting a dirty
+        line counts a writeback.
+        """
+        if addr < 0:
+            raise ConfigError("negative address")
+        index, line = self._index_and_line(addr)
+        state = self._lines.get(index)
+        if state is not None and state.tag == line:
+            self.stats.hits += 1
+            if write:
+                state.dirty = True
+            return True
+        # Miss: classify.
+        if line not in self._ever_seen:
+            self.stats.cold_misses += 1
+        else:
+            # Distinguish conflict from capacity by whether the live
+            # working set (distinct lines seen) exceeds the cache.
+            if len(self._ever_seen) > self.num_lines:
+                self.stats.capacity_misses += 1
+            else:
+                self.stats.conflict_misses += 1
+        self._ever_seen.add(line)
+        if state is not None and state.dirty:
+            self.stats.writebacks += 1
+        self._lines[index] = _LineState(tag=line, dirty=write)
+        return False
+
+    def access_range(self, start: int, nbytes: int, write: bool = False) -> None:
+        """Access every line in ``[start, start + nbytes)``."""
+        if nbytes < 0:
+            raise ConfigError("negative range size")
+        if nbytes == 0:
+            return
+        first = start // self.line_size
+        last = (start + nbytes - 1) // self.line_size
+        for line in range(first, last + 1):
+            self.access(line * self.line_size, write=write)
+
+    def flush(self) -> int:
+        """Write back all dirty lines and empty the cache.
+
+        Returns the number of writebacks performed.
+        """
+        dirty = sum(1 for s in self._lines.values() if s.dirty)
+        self.stats.writebacks += dirty
+        self._lines.clear()
+        return dirty
+
+    def reset(self) -> None:
+        """Empty the cache and zero statistics (cold state)."""
+        self._lines.clear()
+        self._ever_seen.clear()
+        self.stats.reset()
+
+    def traffic(self) -> tuple[float, float]:
+        """Physical traffic implied by the access history so far.
+
+        Returns ``(ddr_bytes, mcdram_bytes)``:
+
+        * each miss reads one line from DDR (fill) and writes it into
+          MCDRAM, plus delivers it (MCDRAM read);
+        * each hit is one MCDRAM line access;
+        * each writeback moves one line MCDRAM → DDR.
+        """
+        ls = self.line_size
+        ddr = (self.stats.misses + self.stats.writebacks) * ls
+        mcdram = (
+            self.stats.hits + 2 * self.stats.misses + self.stats.writebacks
+        ) * ls
+        return float(ddr), float(mcdram)

@@ -1,0 +1,253 @@
+"""Discrete-event execution of flow plans.
+
+A :class:`Plan` is an ordered list of :class:`Phase` objects separated
+by barriers: a phase begins only when its predecessor has fully
+completed. Within a phase all flows run concurrently and share
+bandwidth via the max-min fair allocator; the phase ends when every
+flow has moved its bytes. This directly realizes the paper's
+``T_step = max(T_copyin, T_comp, T_copyout)`` pipelined-step semantics
+(Fig. 2) while also capturing the second-order effect the closed-form
+model ignores: when one pool finishes early, the remaining pools speed
+up because bandwidth is re-shared.
+
+The engine accumulates per-resource traffic counters so experiments can
+report DDR/MCDRAM traffic (used for the Bender et al. corroboration of
+the ~2.5x DDR-traffic reduction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import PlanError, SimulationError
+from repro.simknl.flows import Flow, Resource, allocate_rates
+
+_EPS = 1e-12
+
+
+@dataclass
+class Phase:
+    """A barrier-delimited set of concurrent flows.
+
+    Parameters
+    ----------
+    name:
+        Display name, e.g. ``"step 3"``.
+    flows:
+        Flows that run concurrently during this phase.
+    static_rates:
+        When True, bandwidth shares are allocated once at phase start
+        and held until the barrier: the phase lasts
+        ``max(bytes / rate)`` over its flows. This models OpenMP-style
+        pools whose threads keep their cores (and memory pipelines)
+        for the whole step, spinning at the barrier — the paper's
+        ``T_step = max(T_copyin, T_comp, T_copyout)``. When False
+        (default), a flow that drains early releases its bandwidth and
+        the remaining flows speed up (max-min resharing).
+    """
+
+    name: str
+    flows: list[Flow] = field(default_factory=list)
+    static_rates: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`PlanError` if the phase is malformed."""
+        if not self.flows:
+            raise PlanError(f"phase {self.name!r} has no flows")
+        for f in self.flows:
+            if f.bytes_total > 0 and f.rate_cap <= 0:
+                raise PlanError(
+                    f"phase {self.name!r}: flow {f.name!r} has bytes to "
+                    "move but zero rate capacity"
+                )
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of logical bytes over all flows in the phase."""
+        return sum(f.bytes_total for f in self.flows)
+
+
+@dataclass
+class Plan:
+    """An ordered, barrier-separated sequence of phases."""
+
+    name: str
+    phases: list[Phase] = field(default_factory=list)
+
+    def add(self, phase: Phase) -> "Plan":
+        """Append a phase and return self (chainable)."""
+        self.phases.append(phase)
+        return self
+
+    def validate(self) -> None:
+        """Validate every contained phase."""
+        for p in self.phases:
+            p.validate()
+
+    @property
+    def total_bytes(self) -> float:
+        """Sum of logical bytes over all phases."""
+        return sum(p.total_bytes for p in self.phases)
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a plan.
+
+    Attributes
+    ----------
+    elapsed:
+        Simulated wall-clock seconds.
+    traffic:
+        Physical bytes moved per resource name.
+    phase_times:
+        Per-phase elapsed seconds, in plan order.
+    events:
+        ``(time, description)`` trace entries (flow completions).
+    """
+
+    elapsed: float
+    traffic: dict[str, float]
+    phase_times: list[float]
+    events: list[tuple[float, str]] = field(default_factory=list)
+
+    def traffic_gb(self, resource: str) -> float:
+        """Traffic on ``resource`` in decimal GB."""
+        return self.traffic.get(resource, 0.0) / 1e9
+
+
+class Engine:
+    """Executes plans against a fixed set of resources.
+
+    Parameters
+    ----------
+    resources:
+        The shared bandwidth resources (devices, NoC, ...).
+    record_events:
+        When True, flow-completion events are recorded in the result
+        trace. Disable for large sweeps to save memory.
+    """
+
+    def __init__(
+        self,
+        resources: Iterable[Resource],
+        record_events: bool = True,
+    ) -> None:
+        self.resources: dict[str, Resource] = {}
+        for r in resources:
+            if r.name in self.resources:
+                raise PlanError(f"duplicate resource {r.name!r}")
+            self.resources[r.name] = r
+        self.record_events = record_events
+
+    def run(self, plan: Plan) -> RunResult:
+        """Execute ``plan`` to completion and return timing/traffic."""
+        plan.validate()
+        clock = 0.0
+        traffic: dict[str, float] = {name: 0.0 for name in self.resources}
+        phase_times: list[float] = []
+        events: list[tuple[float, str]] = []
+
+        for phase in plan.phases:
+            t = self._run_phase(phase, clock, traffic, events)
+            phase_times.append(t)
+            clock += t
+
+        return RunResult(
+            elapsed=clock,
+            traffic=traffic,
+            phase_times=phase_times,
+            events=events,
+        )
+
+    def _run_phase(
+        self,
+        phase: Phase,
+        start: float,
+        traffic: dict[str, float],
+        events: list[tuple[float, str]],
+    ) -> float:
+        """Run one phase; returns its elapsed time."""
+        # Work on copies of byte counters so plans can be re-run.
+        remaining = {id(f): f.bytes_total for f in phase.flows}
+        live = [f for f in phase.flows if remaining[id(f)] > 0]
+        if phase.static_rates:
+            if not live:
+                return 0.0
+            rates = allocate_rates(live, self.resources)
+            dt = 0.0
+            for f in live:
+                r = rates[id(f)]
+                if r <= 0:
+                    raise SimulationError(
+                        f"phase {phase.name!r}: flow {f.name!r} starved "
+                        "under static rates"
+                    )
+                dt = max(dt, remaining[id(f)] / r)
+                for name, mult in f.resources.items():
+                    traffic[name] += remaining[id(f)] * mult
+                if self.record_events:
+                    events.append(
+                        (start + remaining[id(f)] / r,
+                         f"{phase.name}:{f.name} done")
+                    )
+            return dt
+        elapsed = 0.0
+        # Each iteration completes at least one flow, so this loop runs
+        # at most len(live) times.
+        max_iter = len(live) + 1
+        for _ in range(max_iter):
+            if not live:
+                break
+            rates = allocate_rates(live, self.resources)
+            # Time until the earliest completion.
+            dt = math.inf
+            for f in live:
+                r = rates[id(f)]
+                if r <= 0:
+                    continue
+                dt = min(dt, remaining[id(f)] / r)
+            if math.isinf(dt):
+                raise SimulationError(
+                    f"phase {phase.name!r}: live flows but zero aggregate "
+                    "rate (resource starvation)"
+                )
+            elapsed += dt
+            next_live = []
+            for f in live:
+                r = rates[id(f)]
+                moved = r * dt
+                remaining[id(f)] = max(0.0, remaining[id(f)] - moved)
+                for name, mult in f.resources.items():
+                    traffic[name] += moved * mult
+                done = remaining[id(f)] <= _EPS * max(1.0, f.bytes_total)
+                if done:
+                    if self.record_events:
+                        events.append(
+                            (start + elapsed, f"{phase.name}:{f.name} done")
+                        )
+                else:
+                    next_live.append(f)
+            if len(next_live) == len(live):
+                raise SimulationError(
+                    f"phase {phase.name!r}: no flow completed in an "
+                    "engine iteration"
+                )
+            live = next_live
+        if live:
+            raise SimulationError(
+                f"phase {phase.name!r}: exceeded iteration bound"
+            )
+        return elapsed
+
+
+def run_flows(
+    flows: list[Flow],
+    resources: Iterable[Resource],
+    name: str = "phase",
+) -> RunResult:
+    """Convenience: run a single phase of flows to completion."""
+    engine = Engine(resources)
+    return engine.run(Plan(name=name, phases=[Phase(name=name, flows=flows)]))

@@ -1,0 +1,34 @@
+"""A third memory level: high-capacity non-volatile memory.
+
+The paper's conclusion sketches this future: "Another level of memory
+is also conceivable, e.g., high capacity storage based on non-volatile
+memory such as 3D-XPoint. The larger memory capacity ... will
+accommodate a much larger problem size, but now there may be double
+levels of chunking to consider." This module adds that device; the
+double-level chunking pipeline lives in :mod:`repro.core.multilevel`.
+
+Defaults approximate first-generation Optane DC persistent memory:
+an order of magnitude below DDR bandwidth, asymmetric read/write (we
+use the conservative write-ish sustained figure), microsecond-class
+latency, terabyte-class capacity.
+"""
+
+from __future__ import annotations
+
+from repro.simknl.devices import MemoryDevice
+from repro.units import GB, GiB
+
+
+def nvm_device(
+    bandwidth: float = 10 * GB,
+    capacity: float = 1024 * GiB,
+    latency: float = 1e-6,
+) -> MemoryDevice:
+    """A 3D-XPoint-class non-volatile memory device."""
+    return MemoryDevice(
+        name="nvm",
+        bandwidth=bandwidth,
+        capacity=capacity,
+        latency=latency,
+        channels=6,
+    )

@@ -1,0 +1,216 @@
+"""KNL tile/mesh topology.
+
+The Xeon Phi 7250 arranges cores in *tiles* (two cores sharing a 1 MB
+L2) connected by a 2D mesh network-on-chip; MCDRAM EDC controllers sit
+on the mesh edges and DDR controllers on two mesh columns. We model a
+rows x cols grid (default 6 x 7 = 42 slots, 34 tiles active → 68
+cores), expose core/thread enumeration and affinity helpers, and
+compute mesh-hop distances via networkx shortest paths. The mesh's
+bisection bandwidth can be contributed as an additional flow resource;
+with the defaults it is generous enough that it rarely binds —
+matching the paper, which treats NoC contention as a secondary effect
+of over-provisioning copy threads.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import ConfigError
+from repro.simknl.flows import Resource
+from repro.units import GB, MiB
+
+
+class ClusterMode(enum.Enum):
+    """KNL's mesh cluster modes (the BIOS axis orthogonal to the
+    memory modes; Sodani et al.).
+
+    * ``ALL_TO_ALL`` — no affinity between tile, tag directory, and
+      memory controller: worst-case mesh traversals.
+    * ``QUADRANT`` — directories and memory channels grouped into four
+      virtual quadrants; requests stay within a quadrant between
+      directory and memory, invisible to software.
+    * ``SNC4`` — sub-NUMA clustering: the quadrants are exposed as
+      four NUMA nodes; software that keeps its traffic quadrant-local
+      sees the shortest paths, cross-quadrant traffic the longest.
+    """
+
+    ALL_TO_ALL = "all-to-all"
+    QUADRANT = "quadrant"
+    SNC4 = "snc4"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One KNL tile: two cores sharing an L2 slice.
+
+    Attributes
+    ----------
+    tile_id:
+        Dense index among *active* tiles.
+    position:
+        (row, col) grid coordinate on the mesh.
+    cores:
+        Global core ids hosted by this tile.
+    l2_bytes:
+        Shared L2 capacity.
+    """
+
+    tile_id: int
+    position: tuple[int, int]
+    cores: tuple[int, ...]
+    l2_bytes: int = MiB
+
+
+class KNLTopology:
+    """Tile grid, core/thread enumeration, and mesh distances.
+
+    Parameters
+    ----------
+    rows, cols:
+        Mesh grid dimensions.
+    active_tiles:
+        Number of tiles populated with cores (7250: 34).
+    cores_per_tile:
+        Cores per tile (KNL: 2).
+    threads_per_core:
+        SMT ways per core (KNL: 4).
+    mesh_bandwidth:
+        Aggregate mesh bandwidth in bytes/s available to memory
+        traffic (used to build an optional flow resource).
+    """
+
+    def __init__(
+        self,
+        rows: int = 6,
+        cols: int = 7,
+        active_tiles: int = 34,
+        cores_per_tile: int = 2,
+        threads_per_core: int = 4,
+        mesh_bandwidth: float = 700 * GB,
+        cluster_mode: ClusterMode = ClusterMode.QUADRANT,
+    ) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigError("mesh dimensions must be positive")
+        if active_tiles <= 0 or active_tiles > rows * cols:
+            raise ConfigError(
+                f"active_tiles must be in 1..{rows * cols}, got {active_tiles}"
+            )
+        if cores_per_tile <= 0 or threads_per_core <= 0:
+            raise ConfigError("cores/threads per tile must be positive")
+        if mesh_bandwidth <= 0:
+            raise ConfigError("mesh bandwidth must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.cores_per_tile = cores_per_tile
+        self.threads_per_core = threads_per_core
+        self.mesh_bandwidth = mesh_bandwidth
+        self.cluster_mode = cluster_mode
+        self.graph = nx.grid_2d_graph(rows, cols)
+        positions = sorted(self.graph.nodes)
+        self.tiles: list[Tile] = []
+        core = 0
+        for tid in range(active_tiles):
+            cores = tuple(range(core, core + cores_per_tile))
+            core += cores_per_tile
+            self.tiles.append(
+                Tile(tile_id=tid, position=positions[tid], cores=cores)
+            )
+
+    @property
+    def num_cores(self) -> int:
+        """Total active cores."""
+        return len(self.tiles) * self.cores_per_tile
+
+    @property
+    def num_threads(self) -> int:
+        """Total hardware threads (cores x SMT ways)."""
+        return self.num_cores * self.threads_per_core
+
+    def tile_of_core(self, core: int) -> Tile:
+        """The tile hosting global core id ``core``."""
+        if not 0 <= core < self.num_cores:
+            raise ConfigError(
+                f"core {core} out of range 0..{self.num_cores - 1}"
+            )
+        return self.tiles[core // self.cores_per_tile]
+
+    def core_of_thread(self, thread: int) -> int:
+        """Global core id of hardware thread ``thread`` (compact order)."""
+        if not 0 <= thread < self.num_threads:
+            raise ConfigError(
+                f"thread {thread} out of range 0..{self.num_threads - 1}"
+            )
+        return thread // self.threads_per_core
+
+    def mesh_distance(self, tile_a: int, tile_b: int) -> int:
+        """Mesh hop count between two tiles (XY-routing path length)."""
+        a = self.tiles[tile_a].position
+        b = self.tiles[tile_b].position
+        return nx.shortest_path_length(self.graph, a, b)
+
+    def mean_mesh_distance(self) -> float:
+        """Average hop count over all active tile pairs."""
+        n = len(self.tiles)
+        if n == 1:
+            return 0.0
+        total = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                total += self.mesh_distance(i, j)
+        return total / (n * (n - 1) / 2)
+
+    def quadrant_of_tile(self, tile_id: int) -> int:
+        """The mesh quadrant (0-3) hosting a tile: the grid split at
+        its row/column midpoints."""
+        if not 0 <= tile_id < len(self.tiles):
+            raise ConfigError(f"tile {tile_id} out of range")
+        r, c = self.tiles[tile_id].position
+        return (0 if r < (self.rows + 1) // 2 else 2) + (
+            0 if c < (self.cols + 1) // 2 else 1
+        )
+
+    def memory_access_hops(self, tile_id: int) -> float:
+        """Expected mesh hops for a memory access from ``tile_id``
+        under the configured cluster mode.
+
+        ALL_TO_ALL: the request visits a random tag directory and then
+        a random memory controller — two mean-distance traversals.
+        QUADRANT / SNC4: directory and controller live in the tile's
+        own quadrant, so both traversals stay quadrant-local (SNC4
+        additionally exposes the locality to software; for a single
+        quadrant-local access the cost matches QUADRANT, which is why
+        both share the arithmetic here).
+        """
+        if self.cluster_mode is ClusterMode.ALL_TO_ALL:
+            mean = self.mean_mesh_distance()
+            return 2.0 * mean
+        # Quadrant-local traversal: mean distance within the quadrant.
+        q = self.quadrant_of_tile(tile_id)
+        members = [
+            t.tile_id for t in self.tiles if self.quadrant_of_tile(t.tile_id) == q
+        ]
+        if len(members) < 2:
+            return 0.0
+        total = 0
+        count = 0
+        for i in members:
+            for j in members:
+                if i < j:
+                    total += self.mesh_distance(i, j)
+                    count += 1
+        return 2.0 * total / count
+
+    def snc_local_bandwidth_share(self) -> float:
+        """In SNC4 each NUMA cluster owns ~1/4 of the memory channels;
+        quadrant-local traffic sees that share of device bandwidth."""
+        if self.cluster_mode is ClusterMode.SNC4:
+            return 0.25
+        return 1.0
+
+    def mesh_resource(self) -> Resource:
+        """The mesh as a bandwidth resource for flow plans."""
+        return Resource(name="mesh", capacity=self.mesh_bandwidth)

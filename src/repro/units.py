@@ -1,0 +1,62 @@
+"""Unit helpers and constants shared across the simulator and model.
+
+The paper reports bandwidths in GB/s (decimal gigabytes, as STREAM does)
+and data sizes in GB/GiB somewhat loosely; we standardise on *bytes* for
+all internal accounting and provide conversion helpers at the edges.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+# Decimal units (used for bandwidths, matching STREAM / the paper's GB/s).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary units (used for capacities: "16GB MCDRAM" is 16 GiB on KNL).
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+#: Size in bytes of the element type used throughout the paper (int64).
+INT64 = 8
+
+#: MCDRAM/L1/L2 cache line size on KNL (bytes).
+CACHE_LINE = 64
+
+
+def gb(x: float) -> float:
+    """Convert decimal gigabytes to bytes."""
+    return x * GB
+
+
+def gib(x: float) -> float:
+    """Convert binary gibibytes to bytes."""
+    return x * GiB
+
+
+def to_gb(nbytes: float) -> float:
+    """Convert bytes to decimal gigabytes."""
+    return nbytes / GB
+
+
+def to_gib(nbytes: float) -> float:
+    """Convert bytes to binary gibibytes."""
+    return nbytes / GiB
+
+
+def elements_to_bytes(n: int, element_size: int = INT64) -> int:
+    """Size in bytes of ``n`` elements of ``element_size`` bytes each."""
+    if n < 0:
+        raise ConfigError(f"element count must be non-negative, got {n}")
+    if element_size <= 0:
+        raise ConfigError(f"element size must be positive, got {element_size}")
+    return n * element_size
+
+
+def bytes_to_elements(nbytes: float, element_size: int = INT64) -> int:
+    """Number of whole elements of ``element_size`` that fit in ``nbytes``."""
+    if element_size <= 0:
+        raise ConfigError(f"element size must be positive, got {element_size}")
+    return int(nbytes // element_size)

@@ -1,0 +1,22 @@
+"""Cross-model validation: functional ground truth vs analytic models.
+
+The timed experiments rest on two analytic shortcuts:
+
+1. the streaming cache model (validated against the line-level
+   simulator in ``tests/simknl/test_cache_analytic.py``), and
+2. the divide-and-conquer *active-set* split — the claim that a
+   recursive sort over a working set ``W`` behind a cache of size
+   ``C`` misses only during its first ``~log2(W / C)`` levels.
+
+This package provides instrumented reference algorithms whose memory
+accesses feed the line-level cache, so claim (2) can be checked
+empirically at small scale (:func:`~repro.validation.dc_trace.measure_dc_levels`).
+"""
+
+from repro.validation.dc_trace import (
+    DCLevelStats,
+    measure_dc_levels,
+    traced_mergesort,
+)
+
+__all__ = ["DCLevelStats", "measure_dc_levels", "traced_mergesort"]

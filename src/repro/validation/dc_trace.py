@@ -1,0 +1,206 @@
+"""Instrumented divide-and-conquer sort driving the line-level cache.
+
+:func:`traced_mergesort` runs a bottom-up mergesort whose every read
+and write is replayed against a :class:`DirectMappedCache`, with
+per-recursion-level hit/miss accounting. :func:`measure_dc_levels`
+summarizes which levels thrash — the empirical counterpart of
+:func:`repro.core.modes.dc_cache_split`'s prediction that exactly the
+top ``log2(W / C)`` levels miss.
+
+The trace works at line granularity (whole-line touches per element
+range), so element counts in the hundreds of thousands stay fast in
+pure Python.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simknl.cache import DirectMappedCache
+
+
+@dataclass(frozen=True)
+class DCLevelStats:
+    """Per-level cache behaviour of a traced divide-and-conquer sort.
+
+    Attributes
+    ----------
+    level:
+        Merge level (0 merges runs of the base size).
+    run_bytes:
+        Size of each merged output run at this level.
+    hits, misses:
+        Line events charged to this level.
+    """
+
+    level: int
+    run_bytes: int
+    hits: int
+    misses: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of this level's line accesses that missed."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+def traced_mergesort(
+    working_set: int,
+    cache: DirectMappedCache,
+    base_run: int = 4096,
+    temp_offset: int | None = None,
+) -> list[DCLevelStats]:
+    """Replay a bottom-up mergesort's traffic through ``cache``.
+
+    Parameters
+    ----------
+    working_set:
+        Bytes being sorted (a synthetic address range starting at 0).
+    cache:
+        The cache to drive; reset it first for a cold start.
+    base_run:
+        Bytes of the pre-sorted base runs (the insertion-sort base
+        case of a real implementation).
+    temp_offset:
+        Address of the merge temp buffer; defaults to just past the
+        data plus half the cache, so data and temp don't alias
+        set-for-set in the direct-mapped cache (placing the temp an
+        exact multiple of the cache size away makes every set collide
+        — a real direct-mapped pathology worth avoiding in real
+        allocations too). The data/temp ping-pong is what a real
+        out-of-place mergesort does.
+
+    Returns per-level statistics, shallowest level last.
+    """
+    if working_set <= 0:
+        raise ConfigError("working_set must be positive")
+    if base_run <= 0:
+        raise ConfigError("base_run must be positive")
+    if temp_offset is None:
+        temp_offset = working_set + cache.usable_capacity // 2 + cache.line_size
+    levels: list[DCLevelStats] = []
+    src, dst = 0, temp_offset
+    run = base_run
+    level = 0
+    while run < working_set:
+        out_run = run * 2
+        h0 = cache.stats.hits
+        m0 = cache.stats.misses
+        # Merge consecutive run pairs: read both inputs, write output.
+        for start in range(0, working_set, out_run):
+            size = min(out_run, working_set - start)
+            cache.access_range(src + start, size, write=False)
+            cache.access_range(dst + start, size, write=True)
+        levels.append(
+            DCLevelStats(
+                level=level,
+                run_bytes=out_run,
+                hits=cache.stats.hits - h0,
+                misses=cache.stats.misses - m0,
+            )
+        )
+        src, dst = dst, src
+        run = out_run
+        level += 1
+    return levels
+
+
+def traced_mergesort_depth_first(
+    working_set: int,
+    cache: DirectMappedCache,
+    base_run: int = 4096,
+    temp_offset: int | None = None,
+) -> list[DCLevelStats]:
+    """Depth-first (recursive) counterpart of :func:`traced_mergesort`.
+
+    A real serial sort recurses: it finishes one subproblem entirely
+    before touching its sibling, so small merges of one subtree happen
+    adjacently in time and their footprints stay cache-resident. This
+    ordering — not the level structure itself — is what the paper's
+    active-set argument (and MLM-implicit's tolerance of oversized
+    megachunks) relies on; the breadth-first trace demonstrates the
+    alternative, which thrashes at *every* level.
+    """
+    if working_set <= 0:
+        raise ConfigError("working_set must be positive")
+    if base_run <= 0:
+        raise ConfigError("base_run must be positive")
+    if temp_offset is None:
+        temp_offset = working_set + cache.usable_capacity // 2 + cache.line_size
+    total_levels = max(1, math.ceil(math.log2(max(2, working_set / base_run))))
+    acc: list[list[int]] = [[0, 0] for _ in range(total_levels)]
+
+    def sort(start: int, size: int) -> int:
+        """Recursively sort [start, start+size); returns its level."""
+        if size <= base_run:
+            cache.access_range(start, size, write=True)
+            return -1
+        half = size // 2
+        left_level = sort(start, half)
+        sort(start + half, size - half)
+        level = left_level + 1
+        h0, m0 = cache.stats.hits, cache.stats.misses
+        # Merge the halves through the temp buffer and copy back.
+        cache.access_range(start, size, write=False)
+        cache.access_range(temp_offset + start, size, write=True)
+        cache.access_range(temp_offset + start, size, write=False)
+        cache.access_range(start, size, write=True)
+        if level < total_levels:
+            acc[level][0] += cache.stats.hits - h0
+            acc[level][1] += cache.stats.misses - m0
+        return level
+
+    sort(0, working_set)
+    out = []
+    run = base_run * 2
+    for level, (h, m) in enumerate(acc):
+        if h == 0 and m == 0:
+            continue
+        out.append(DCLevelStats(level=level, run_bytes=run, hits=h, misses=m))
+        run *= 2
+    return out
+
+
+def measure_dc_levels(
+    working_set: int,
+    cache_capacity: int,
+    line_size: int = 64,
+    base_run: int = 4096,
+    miss_threshold: float = 0.5,
+    depth_first: bool = True,
+) -> tuple[float, float]:
+    """Empirical (thrashing_levels, total_levels) of a traced sort.
+
+    A level counts as thrashing when its miss rate exceeds
+    ``miss_threshold``. Compare against the analytic prediction
+    ``log2(2 * working_set / cache)`` (factor 2: data + temp are both
+    live, like the GNU working-set factor). ``depth_first`` selects
+    the recursion order; only the depth-first order satisfies the
+    active-set assumption.
+    """
+    if working_set < 2 * base_run:
+        raise ConfigError("working_set must cover at least two base runs")
+    cache = DirectMappedCache(capacity=cache_capacity, line_size=line_size)
+    temp_offset = working_set + cache.usable_capacity // 2 + cache.line_size
+    # Warm both buffers so cold misses don't pollute level accounting.
+    cache.access_range(0, working_set, write=True)
+    cache.access_range(temp_offset, working_set, write=True)
+    trace = traced_mergesort_depth_first if depth_first else traced_mergesort
+    levels = trace(working_set, cache, base_run=base_run, temp_offset=temp_offset)
+    thrashing = sum(1.0 for s in levels if s.miss_rate > miss_threshold)
+    return thrashing, float(len(levels))
+
+
+def predicted_thrashing_levels(
+    working_set: int, cache_capacity: int, total_levels: float
+) -> float:
+    """The analytic counterpart: ``min(total, log2(2 W / C))``."""
+    if working_set <= 0 or cache_capacity <= 0:
+        raise ConfigError("sizes must be positive")
+    live = 2.0 * working_set  # data + temp ping-pong
+    if live <= cache_capacity:
+        return 0.0
+    return min(total_levels, math.log2(live / cache_capacity))

@@ -1,0 +1,76 @@
+"""Input generators and workload descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import INT64
+
+#: Input orders supported by both generators and cost model.
+ORDERS = ("random", "reverse", "sorted", "nearly-sorted", "few-unique")
+
+#: Orders the paper's Table 1 evaluates.
+PAPER_ORDERS = ("random", "reverse")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A sorting workload descriptor (size-only, for timed plans)."""
+
+    n: int
+    order: str = "random"
+    element_size: int = INT64
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigError("n must be >= 1")
+        if self.order not in ORDERS:
+            raise ConfigError(f"unknown order {self.order!r}")
+        if self.element_size <= 0:
+            raise ConfigError("element_size must be positive")
+
+    @property
+    def nbytes(self) -> int:
+        """Data set size in bytes."""
+        return self.n * self.element_size
+
+    def materialize(self, seed: int = 0) -> np.ndarray:
+        """Generate the actual array (test scale only)."""
+        return generate(self.n, self.order, seed=seed)
+
+
+def generate(n: int, order: str = "random", seed: int = 0) -> np.ndarray:
+    """Generate ``n`` int64 elements in the requested ``order``."""
+    if n < 0:
+        raise ConfigError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    if order == "random":
+        return rng.integers(0, max(n, 2) * 4, n, dtype=np.int64)
+    if order == "reverse":
+        return np.arange(n, 0, -1, dtype=np.int64)
+    if order == "sorted":
+        return np.arange(n, dtype=np.int64)
+    if order == "nearly-sorted":
+        out = np.arange(n, dtype=np.int64)
+        swaps = max(1, n // 100)
+        if n >= 2:
+            i = rng.integers(0, n, swaps)
+            j = rng.integers(0, n, swaps)
+            out[i], out[j] = out[j].copy(), out[i].copy()
+        return out
+    if order == "few-unique":
+        return rng.integers(0, 8, n, dtype=np.int64)
+    raise ConfigError(f"unknown order {order!r}")
+
+
+def paper_table1_specs() -> list[WorkloadSpec]:
+    """The six workloads of Table 1: {2, 4, 6} billion x {random,
+    reverse}."""
+    return [
+        WorkloadSpec(n=b * 1_000_000_000, order=o)
+        for o in PAPER_ORDERS
+        for b in (2, 4, 6)
+    ]

@@ -1,0 +1,95 @@
+"""Tests for the sort cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.costs import SortCostModel, sort_levels
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SortCostModel()
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ConfigError):
+            SortCostModel(s_sort_random=0)
+        with pytest.raises(ConfigError):
+            SortCostModel(s_merge=-1)
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(ConfigError):
+            SortCostModel(reverse_factor_mlm=0.0)
+        with pytest.raises(ConfigError):
+            SortCostModel(cache_bw_factor=1.5)
+        with pytest.raises(ConfigError):
+            SortCostModel(thrash_rate_factor=0.0)
+
+    def test_rejects_negative_overheads(self):
+        with pytest.raises(ConfigError):
+            SortCostModel(chunk_overhead_s=-0.1)
+        with pytest.raises(ConfigError):
+            SortCostModel(level_const=-1)
+
+    def test_replace(self):
+        c = SortCostModel().replace(s_merge=1.0)
+        assert c.s_merge == 1.0
+        assert SortCostModel().s_merge != 1.0
+
+
+class TestOrderFactor:
+    def test_random_is_one(self):
+        c = SortCostModel()
+        assert c.order_factor("random", gnu=False) == 1.0
+        assert c.order_factor("random", gnu=True) == 1.0
+
+    def test_reverse_distinguishes_gnu(self):
+        """The paper: MLM exploits reversed structure more than GNU."""
+        c = SortCostModel()
+        assert c.order_factor("reverse", gnu=False) < c.order_factor(
+            "reverse", gnu=True
+        )
+
+    def test_sorted_easier_than_reverse(self):
+        c = SortCostModel()
+        assert c.order_factor("sorted", gnu=False) < c.order_factor(
+            "reverse", gnu=False
+        )
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ConfigError):
+            SortCostModel().order_factor("shuffled", gnu=False)
+
+
+class TestSortLevels:
+    def test_levels_grow_with_m(self):
+        c = SortCostModel()
+        assert sort_levels(1 << 24, c) > sort_levels(1 << 20, c)
+
+    def test_mlm_levels_grow_sublogarithmically(self):
+        """4x the chunk adds only level_log_weight * 2 levels."""
+        c = SortCostModel()
+        delta = sort_levels(4 << 20, c) - sort_levels(1 << 20, c)
+        assert delta == pytest.approx(c.level_overhead * c.level_log_weight * 2)
+
+    def test_gnu_levels_fully_logarithmic(self):
+        c = SortCostModel()
+        delta = sort_levels(4 << 20, c, gnu=True) - sort_levels(
+            1 << 20, c, gnu=True
+        )
+        assert delta == pytest.approx(c.gnu_level_overhead * 2)
+
+    def test_reverse_fewer_levels(self):
+        c = SortCostModel()
+        assert sort_levels(1 << 22, c, order="reverse") < sort_levels(
+            1 << 22, c, order="random"
+        )
+
+    def test_minimum_one_level(self):
+        c = SortCostModel(level_const=0.0, level_log_weight=0.01)
+        assert sort_levels(2, c) >= 1.0
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ConfigError):
+            sort_levels(0, SortCostModel())

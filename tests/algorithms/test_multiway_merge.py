@@ -1,0 +1,218 @@
+"""Tests for the loser tree, vectorized merges, and exact splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.multiway_merge import (
+    LoserTree,
+    merge_two,
+    multiseq_partition,
+    multiway_merge,
+    parallel_multiway_merge,
+)
+from repro.errors import ConfigError
+
+
+def sorted_runs(seed: int, k: int, max_len: int = 50) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [
+        np.sort(rng.integers(0, 100, rng.integers(0, max_len), dtype=np.int64))
+        for _ in range(k)
+    ]
+
+
+class TestMergeTwo:
+    def test_basic(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([2, 4, 6], dtype=np.int64)
+        assert np.array_equal(merge_two(a, b), [1, 2, 3, 4, 5, 6])
+
+    def test_empty_sides(self):
+        a = np.array([], dtype=np.int64)
+        b = np.array([1, 2], dtype=np.int64)
+        assert np.array_equal(merge_two(a, b), [1, 2])
+        assert np.array_equal(merge_two(b, a), [1, 2])
+
+    def test_duplicates_stable(self):
+        """Equal keys from the first array precede the second's."""
+        a = np.array([(1 << 8) | 1, (2 << 8) | 1], dtype=np.int64)
+        b = np.array([(1 << 8) | 2, (2 << 8) | 2], dtype=np.int64)
+        # Compare on the high byte only by pre-masking: simulate
+        # stability by merging tagged equal keys.
+        keys_a = np.array([1, 2], dtype=np.int64)
+        keys_b = np.array([1, 2], dtype=np.int64)
+        merged = merge_two(keys_a, keys_b)
+        assert np.array_equal(merged, [1, 1, 2, 2])
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            merge_two(np.array([1], dtype=np.int64), np.array([1], dtype=np.int32))
+
+    def test_all_interleavings(self):
+        a = np.array([1, 1, 1], dtype=np.int64)
+        b = np.array([1, 1], dtype=np.int64)
+        assert np.array_equal(merge_two(a, b), [1, 1, 1, 1, 1])
+
+
+class TestLoserTree:
+    def test_single_run(self):
+        lt = LoserTree([np.array([1, 2, 3], dtype=np.int64)])
+        assert np.array_equal(lt.merge(), [1, 2, 3])
+
+    def test_k_runs(self):
+        runs = sorted_runs(0, 5)
+        expected = np.sort(np.concatenate(runs))
+        assert np.array_equal(LoserTree(runs).merge(), expected)
+
+    def test_non_power_of_two_k(self):
+        runs = sorted_runs(1, 7)
+        expected = np.sort(np.concatenate(runs))
+        assert np.array_equal(LoserTree(runs).merge(), expected)
+
+    def test_with_empty_runs(self):
+        runs = [
+            np.array([], dtype=np.int64),
+            np.array([2, 4], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+        ]
+        assert np.array_equal(LoserTree(runs).merge(), [1, 2, 4])
+
+    def test_pop_order(self):
+        lt = LoserTree([np.array([3], dtype=np.int64), np.array([1], dtype=np.int64)])
+        assert lt.pop() == 1
+        assert lt.pop() == 3
+        assert lt.empty
+
+    def test_pop_exhausted_raises(self):
+        lt = LoserTree([np.array([], dtype=np.int64)])
+        with pytest.raises(ConfigError):
+            lt.pop()
+
+    def test_no_runs_rejected(self):
+        with pytest.raises(ConfigError):
+            LoserTree([])
+
+
+class TestMultiwayMerge:
+    @pytest.mark.parametrize("strategy", ["tournament", "losertree"])
+    def test_strategies_agree(self, strategy):
+        runs = sorted_runs(3, 6)
+        expected = np.sort(np.concatenate(runs))
+        assert np.array_equal(multiway_merge(runs, strategy), expected)
+
+    def test_single_run_passthrough(self):
+        r = np.array([1, 5, 9], dtype=np.int64)
+        assert np.array_equal(multiway_merge([r]), r)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigError):
+            multiway_merge([np.array([1])], strategy="bogus")
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ConfigError):
+            multiway_merge([])
+
+
+class TestMultiseqPartition:
+    def test_rank_zero_and_total(self):
+        runs = sorted_runs(4, 3)
+        total = sum(len(r) for r in runs)
+        assert multiseq_partition(runs, 0) == [0, 0, 0]
+        assert multiseq_partition(runs, total) == [len(r) for r in runs]
+
+    def test_split_property(self):
+        """Every selected element <= every unselected element."""
+        runs = sorted_runs(5, 4, max_len=30)
+        total = sum(len(r) for r in runs)
+        for rank in range(0, total + 1, max(1, total // 7)):
+            splits = multiseq_partition(runs, rank)
+            assert sum(splits) == rank
+            left = [r[:s] for r, s in zip(runs, splits)]
+            right = [r[s:] for r, s in zip(runs, splits)]
+            lmax = max((r[-1] for r in left if len(r)), default=None)
+            rmin = min((r[0] for r in right if len(r)), default=None)
+            if lmax is not None and rmin is not None:
+                assert lmax <= rmin
+
+    def test_bad_rank_rejected(self):
+        runs = [np.array([1, 2], dtype=np.int64)]
+        with pytest.raises(ConfigError):
+            multiseq_partition(runs, 3)
+        with pytest.raises(ConfigError):
+            multiseq_partition(runs, -1)
+
+    def test_float_dtype_rejected(self):
+        with pytest.raises(ConfigError):
+            multiseq_partition([np.array([1.0, 2.0])], 1)
+
+
+class TestParallelMultiwayMerge:
+    def test_matches_serial(self):
+        runs = sorted_runs(6, 5)
+        expected = np.sort(np.concatenate(runs))
+        for threads in (1, 2, 3, 8):
+            assert np.array_equal(
+                parallel_multiway_merge(runs, threads), expected
+            )
+
+    def test_more_threads_than_elements(self):
+        runs = [np.array([2], dtype=np.int64), np.array([1], dtype=np.int64)]
+        assert np.array_equal(parallel_multiway_merge(runs, 16), [1, 2])
+
+    def test_all_empty(self):
+        runs = [np.array([], dtype=np.int64)] * 3
+        assert len(parallel_multiway_merge(runs, 4)) == 0
+
+    def test_bad_threads(self):
+        with pytest.raises(ConfigError):
+            parallel_multiway_merge([np.array([1])], 0)
+
+
+# ---- property-based ------------------------------------------------------
+
+runs_strategy = st.lists(
+    st.lists(
+        st.integers(min_value=-1000, max_value=1000), max_size=40
+    ).map(lambda xs: np.sort(np.array(xs, dtype=np.int64))),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(runs=runs_strategy)
+def test_merge_equals_sorted_concat(runs):
+    expected = np.sort(np.concatenate(runs))
+    assert np.array_equal(multiway_merge(runs), expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(runs=runs_strategy)
+def test_losertree_equals_tournament(runs):
+    assert np.array_equal(
+        multiway_merge(runs, "losertree"), multiway_merge(runs, "tournament")
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(runs=runs_strategy, threads=st.integers(min_value=1, max_value=6))
+def test_parallel_merge_matches(runs, threads):
+    expected = np.sort(np.concatenate(runs))
+    assert np.array_equal(parallel_multiway_merge(runs, threads), expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    a=st.lists(st.integers(min_value=-50, max_value=50), max_size=60),
+    b=st.lists(st.integers(min_value=-50, max_value=50), max_size=60),
+)
+def test_merge_two_property(a, b):
+    aa = np.sort(np.array(a, dtype=np.int64))
+    bb = np.sort(np.array(b, dtype=np.int64))
+    out = merge_two(aa, bb)
+    assert np.array_equal(out, np.sort(np.concatenate([aa, bb])))

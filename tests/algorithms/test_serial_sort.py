@@ -1,0 +1,119 @@
+"""Tests for the serial introsort building block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms.serial_sort import (
+    INSERTION_THRESHOLD,
+    insertion_sort,
+    introsort,
+    serial_sort,
+)
+from repro.errors import ConfigError
+
+
+class TestInsertionSort:
+    def test_full_array(self):
+        a = np.array([5, 2, 8, 1, 9, 3])
+        insertion_sort(a)
+        assert np.array_equal(a, [1, 2, 3, 5, 8, 9])
+
+    def test_subrange_only(self):
+        a = np.array([9, 5, 2, 8, 0])
+        insertion_sort(a, 1, 4)
+        assert np.array_equal(a, [9, 2, 5, 8, 0])
+
+    def test_empty_and_single(self):
+        a = np.array([], dtype=np.int64)
+        insertion_sort(a)
+        b = np.array([7])
+        insertion_sort(b)
+        assert b[0] == 7
+
+
+class TestIntrosort:
+    def test_random(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(-1000, 1000, 500, dtype=np.int64)
+        expected = np.sort(a.copy())
+        assert np.array_equal(introsort(a), expected)
+
+    def test_sorted_input(self):
+        a = np.arange(200, dtype=np.int64)
+        assert np.array_equal(introsort(a.copy()), a)
+
+    def test_reverse_input(self):
+        a = np.arange(200, dtype=np.int64)[::-1].copy()
+        assert np.array_equal(introsort(a), np.arange(200))
+
+    def test_all_equal(self):
+        a = np.full(100, 42, dtype=np.int64)
+        assert np.array_equal(introsort(a.copy()), a)
+
+    def test_few_unique(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 3, 300, dtype=np.int64)
+        assert np.array_equal(introsort(a.copy()), np.sort(a))
+
+    def test_small_below_insertion_threshold(self):
+        a = np.array([3, 1, 2], dtype=np.int64)
+        assert np.array_equal(introsort(a), [1, 2, 3])
+        assert len(a) <= INSERTION_THRESHOLD
+
+    def test_in_place(self):
+        a = np.array([2, 1], dtype=np.int64)
+        out = introsort(a)
+        assert out is a
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            introsort(np.zeros((2, 2)))
+
+    def test_adversarial_organ_pipe(self):
+        """Organ-pipe input stresses median-of-three pivoting."""
+        half = np.arange(200, dtype=np.int64)
+        a = np.concatenate([half, half[::-1]])
+        assert np.array_equal(introsort(a.copy()), np.sort(a))
+
+
+class TestSerialSort:
+    def test_returns_new_array(self):
+        a = np.array([3, 1, 2], dtype=np.int64)
+        out = serial_sort(a)
+        assert np.array_equal(out, [1, 2, 3])
+        assert np.array_equal(a, [3, 1, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            serial_sort(np.zeros((2, 2)))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    arr=arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=0, max_value=300),
+        elements=st.integers(min_value=-(2**40), max_value=2**40),
+    )
+)
+def test_introsort_matches_numpy(arr):
+    assert np.array_equal(introsort(arr.copy()), np.sort(arr))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    arr=arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=0, max_value=300),
+        elements=st.integers(min_value=-100, max_value=100),
+    )
+)
+def test_introsort_is_permutation(arr):
+    out = introsort(arr.copy())
+    assert np.array_equal(np.sort(out), np.sort(arr))
+    assert np.all(np.diff(out) >= 0)

@@ -1,0 +1,83 @@
+"""Tests for the STREAM measurement procedure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.stream import (
+    host_stream,
+    measure_bandwidth,
+    measure_per_thread_rates,
+    stream_triad_plan,
+)
+from repro.errors import ConfigError
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.units import GB
+
+
+@pytest.fixture
+def node():
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+
+
+class TestMeasureBandwidth:
+    def test_recovers_ddr_ceiling(self, node):
+        """STREAM on the simulator reads back the configured 90 GB/s."""
+        bw = measure_bandwidth(node, "ddr")
+        assert bw == pytest.approx(90 * GB, rel=0.01)
+
+    def test_recovers_mcdram_ceiling(self, node):
+        bw = measure_bandwidth(node, "mcdram")
+        assert bw == pytest.approx(400 * GB, rel=0.01)
+
+    def test_custom_bandwidths_recovered(self):
+        node = KNLNode(
+            KNLNodeConfig(
+                mode=MemoryMode.FLAT,
+                ddr_bandwidth=120 * GB,
+                mcdram_bandwidth=500 * GB,
+            )
+        )
+        assert measure_bandwidth(node, "ddr") == pytest.approx(120 * GB, rel=0.01)
+        assert measure_bandwidth(node, "mcdram") == pytest.approx(
+            500 * GB, rel=0.01
+        )
+
+    def test_unknown_device(self, node):
+        with pytest.raises(ConfigError):
+            stream_triad_plan(node, "l2")
+
+
+class TestPerThreadRates:
+    def test_close_to_table2(self, node):
+        """Little's-law micro-measurements land near 4.8 / 6.78 GB/s."""
+        s_copy, s_comp = measure_per_thread_rates(node)
+        assert s_copy == pytest.approx(4.8 * GB, rel=0.05)
+        assert s_comp == pytest.approx(6.78 * GB, rel=0.05)
+
+    def test_copy_rate_below_compute_rate(self, node):
+        s_copy, s_comp = measure_per_thread_rates(node)
+        assert s_copy < s_comp
+
+
+class TestMeasureParams:
+    def test_measure_params_roundtrip(self, node):
+        """measure_params recovers a coherent Table 2 from the node."""
+        from repro.model.params import measure_params
+
+        p = measure_params(node)
+        assert p.ddr_max == pytest.approx(90 * GB, rel=0.01)
+        assert p.mcdram_max == pytest.approx(400 * GB, rel=0.01)
+        assert p.s_copy == pytest.approx(4.8 * GB, rel=0.05)
+        assert p.s_comp == pytest.approx(6.78 * GB, rel=0.05)
+
+
+class TestHostStream:
+    def test_returns_four_kernels(self):
+        out = host_stream(n=100_000)
+        assert set(out) == {"copy", "scale", "add", "triad"}
+        assert all(v > 0 for v in out.values())
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigError):
+            host_stream(n=0)

@@ -1,0 +1,221 @@
+"""Tests for the triple-buffered pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buffering import BufferedPipeline
+from repro.core.chunking import Chunker
+from repro.core.kernel import StreamKernel
+from repro.core.modes import UsageMode
+from repro.errors import CapacityError, ConfigError
+from repro.memkind.allocator import Heap
+from repro.model.analytic import predict
+from repro.model.params import ModelParams
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.threads.pool import PoolSet
+from repro.units import GB, GiB
+
+
+def flat_node():
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+
+
+def cache_node():
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
+
+
+def make_pipeline(node, mode, passes=8, p_in=5, chunk=GiB, total=None, **kw):
+    total = total or (int(14.9 * GB) // 8 * 8)
+    chunker = Chunker(total_bytes=total, chunk_bytes=chunk)
+    kernel = StreamKernel(passes=passes, name="merge")
+    if mode in (UsageMode.FLAT, UsageMode.HYBRID):
+        pools = PoolSet.split(node, compute=256 - 2 * p_in, copy_in=p_in)
+    else:
+        pools = PoolSet.compute_only(node, threads=256)
+    return BufferedPipeline(
+        node, mode, pools, chunker, kernel, ModelParams(), **kw
+    )
+
+
+class TestPlanStructure:
+    def test_buffered_has_n_plus_2_steps(self):
+        pipe = make_pipeline(flat_node(), UsageMode.FLAT, total=8 * GiB, chunk=GiB)
+        plan = pipe.build_plan()
+        assert len(plan.phases) == 8 + 2
+
+    def test_buffered_steady_state_has_three_flows(self):
+        pipe = make_pipeline(flat_node(), UsageMode.FLAT, total=8 * GiB, chunk=GiB)
+        plan = pipe.build_plan()
+        assert len(plan.phases[0].flows) == 1  # fill: copy-in only
+        assert len(plan.phases[1].flows) == 2  # copy-in + compute
+        assert len(plan.phases[4].flows) == 3  # steady state
+        assert len(plan.phases[-1].flows) == 1  # drain: copy-out only
+
+    def test_unbuffered_sequential_phases(self):
+        pipe = make_pipeline(
+            flat_node(), UsageMode.FLAT, total=4 * GiB, chunk=GiB, buffered=False
+        )
+        plan = pipe.build_plan()
+        assert len(plan.phases) == 4 * 3
+        assert all(len(p.flows) == 1 for p in plan.phases)
+
+    def test_implicit_one_phase_per_chunk(self):
+        pipe = make_pipeline(cache_node(), UsageMode.IMPLICIT, total=4 * GiB, chunk=GiB)
+        plan = pipe.build_plan()
+        assert len(plan.phases) == 4
+        assert all(len(p.flows) == 1 for p in plan.phases)
+
+    def test_mode_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            make_pipeline(cache_node(), UsageMode.FLAT)
+
+
+class TestBuffers:
+    def test_flat_buffered_needs_three(self):
+        pipe = make_pipeline(flat_node(), UsageMode.FLAT)
+        assert pipe.required_buffers() == 3
+
+    def test_flat_unbuffered_needs_one(self):
+        pipe = make_pipeline(flat_node(), UsageMode.FLAT, buffered=False)
+        assert pipe.required_buffers() == 1
+
+    def test_implicit_needs_none(self):
+        pipe = make_pipeline(cache_node(), UsageMode.IMPLICIT)
+        assert pipe.required_buffers() == 0
+
+    def test_chunk_too_large_for_three_buffers(self):
+        """The paper's constraint: 2/3 of MCDRAM goes to copy buffers."""
+        node = flat_node()
+        pipe = make_pipeline(node, UsageMode.FLAT, chunk=6 * GiB, total=24 * GiB)
+        with pytest.raises(CapacityError):
+            pipe.run()
+
+    def test_unbuffered_allows_larger_chunks(self):
+        node = flat_node()
+        pipe = make_pipeline(
+            node, UsageMode.FLAT, chunk=15 * GiB, total=30 * GiB, buffered=False
+        )
+        res = pipe.run()
+        assert res.buffers_bytes == 15 * GiB
+
+    def test_buffers_released_after_run(self):
+        node = flat_node()
+        heap = Heap(node)
+        pipe = make_pipeline(node, UsageMode.FLAT, total=4 * GiB, chunk=GiB)
+        pipe.run(heap)
+        assert heap.usage()["mcdram"] == 0
+
+    def test_buffers_released_on_failure(self):
+        node = flat_node()
+        heap = Heap(node)
+        pipe = make_pipeline(node, UsageMode.FLAT, chunk=6 * GiB, total=6 * GiB)
+        with pytest.raises(CapacityError):
+            pipe.run(heap)
+        assert heap.usage().get("mcdram", 0) == 0
+
+
+class TestTimingAgainstModel:
+    def test_matches_model_within_fill_drain(self):
+        """Simulated time is within ~20% of Eq. 1 for ~15 chunks."""
+        pipe = make_pipeline(flat_node(), UsageMode.FLAT, passes=8, p_in=5)
+        res = pipe.run()
+        model = predict(ModelParams(), 246, 5, 5, passes=8).t_total
+        assert res.elapsed == pytest.approx(model, rel=0.20)
+        assert res.elapsed >= model  # fill/drain only adds time
+
+    def test_copy_bound_configuration(self):
+        """With one copy thread the pipeline is copy-dominated."""
+        pipe = make_pipeline(flat_node(), UsageMode.FLAT, passes=1, p_in=1)
+        res = pipe.run()
+        model = predict(ModelParams(), 254, 1, 1, passes=1).t_total
+        assert res.elapsed == pytest.approx(model, rel=0.15)
+
+    def test_more_passes_takes_longer(self):
+        t = [
+            make_pipeline(flat_node(), UsageMode.FLAT, passes=p).run().elapsed
+            for p in (1, 8, 32)
+        ]
+        assert t[0] < t[1] < t[2]
+
+    def test_traffic_accounting_flat(self):
+        """Copies move the data set through DDR and MCDRAM once each way."""
+        total = 8 * GiB
+        pipe = make_pipeline(
+            flat_node(), UsageMode.FLAT, passes=4, total=total, chunk=GiB
+        )
+        res = pipe.run()
+        # copy-in + copy-out = 2 * total on each device; compute adds
+        # 2 * passes * total on MCDRAM only.
+        assert res.run.traffic["ddr"] == pytest.approx(2 * total, rel=1e-6)
+        assert res.run.traffic["mcdram"] == pytest.approx(
+            2 * total + 2 * 4 * total, rel=1e-6
+        )
+
+    def test_implicit_saves_ddr_traffic(self):
+        """Implicit mode re-reads each chunk from cache, not DDR."""
+        total = 8 * GiB
+        flat = make_pipeline(
+            flat_node(), UsageMode.FLAT, passes=8, total=total, chunk=GiB
+        ).run()
+        imp = make_pipeline(
+            cache_node(), UsageMode.IMPLICIT, passes=8, total=total, chunk=GiB
+        ).run()
+        assert imp.run.traffic["ddr"] < flat.run.traffic["ddr"]
+
+    def test_implicit_thrashing_chunk_slower_per_byte(self):
+        """Chunks beyond cache capacity drive implicit mode to DDR speed."""
+        small = make_pipeline(
+            cache_node(), UsageMode.IMPLICIT, passes=8, total=8 * GiB, chunk=GiB
+        ).run()
+        big = make_pipeline(
+            cache_node(),
+            UsageMode.IMPLICIT,
+            passes=8,
+            total=64 * GiB,
+            chunk=32 * GiB,
+        ).run()
+        assert big.elapsed / 8 > small.elapsed  # 8x data, >8x time
+
+    def test_ddr_mode_all_ddr(self):
+        node = flat_node()
+        pipe = make_pipeline(node, UsageMode.DDR, passes=2, total=4 * GiB)
+        res = pipe.run()
+        assert res.run.traffic["mcdram"] == 0.0
+        assert res.run.traffic["ddr"] > 0
+
+
+class TestHybrid:
+    def test_hybrid_runs_with_smaller_chunks(self):
+        node = KNLNode(
+            KNLNodeConfig(mode=MemoryMode.HYBRID, hybrid_cache_fraction=0.5)
+        )
+        chunker = Chunker(total_bytes=8 * GiB, chunk_bytes=2 * GiB)
+        pools = PoolSet.split(node, compute=246, copy_in=5)
+        pipe = BufferedPipeline(
+            node, UsageMode.HYBRID, pools, chunker, StreamKernel(passes=4)
+        )
+        res = pipe.run()
+        assert res.elapsed > 0
+
+    def test_hybrid_rejects_flat_sized_chunks(self):
+        node = KNLNode(
+            KNLNodeConfig(mode=MemoryMode.HYBRID, hybrid_cache_fraction=0.5)
+        )
+        chunker = Chunker(total_bytes=16 * GiB, chunk_bytes=4 * GiB)
+        pools = PoolSet.split(node, compute=246, copy_in=5)
+        pipe = BufferedPipeline(
+            node, UsageMode.HYBRID, pools, chunker, StreamKernel(passes=4)
+        )
+        with pytest.raises(CapacityError):
+            pipe.run()
+
+
+class TestPipelineResult:
+    def test_result_fields(self):
+        pipe = make_pipeline(cache_node(), UsageMode.IMPLICIT, total=4 * GiB)
+        res = pipe.run()
+        assert res.mode is UsageMode.IMPLICIT
+        assert res.num_chunks == 4
+        assert res.buffers_bytes == 0
+        assert res.traffic_gb("mcdram") > 0

@@ -1,0 +1,133 @@
+"""Tests for the three-level (NVM/DDR/MCDRAM) double-chunking pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.kernel import StreamKernel
+from repro.core.multilevel import ThreeLevelConfig, ThreeLevelPipeline
+from repro.errors import CapacityError, ConfigError
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.simknl.nvm import nvm_device
+from repro.units import GB, GiB
+
+
+def flat_node():
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+
+
+def make_pipe(data_gib=50, passes=8, **cfg_kw):
+    cfg = ThreeLevelConfig(data_bytes=int(data_gib * GiB), **cfg_kw)
+    return ThreeLevelPipeline(flat_node(), StreamKernel(passes=passes), cfg)
+
+
+class TestNvmDevice:
+    def test_defaults(self):
+        d = nvm_device()
+        assert d.name == "nvm"
+        assert d.bandwidth == 10 * GB
+        assert d.capacity == 1024 * GiB
+        assert d.latency > 100e-9  # microsecond-class
+
+    def test_slower_than_ddr(self):
+        from repro.simknl.devices import ddr4_device
+
+        assert nvm_device().bandwidth < ddr4_device().bandwidth
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        ThreeLevelConfig(data_bytes=GiB)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            ThreeLevelConfig(data_bytes=0)
+        with pytest.raises(ConfigError):
+            ThreeLevelConfig(data_bytes=GiB, outer_chunk_bytes=0)
+        with pytest.raises(ConfigError):
+            ThreeLevelConfig(
+                data_bytes=GiB,
+                outer_chunk_bytes=GiB,
+                inner_chunk_bytes=2 * GiB,
+            )
+
+    def test_rejects_bad_threads(self):
+        with pytest.raises(ConfigError):
+            ThreeLevelConfig(data_bytes=GiB, compute_threads=0)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigError):
+            ThreeLevelConfig(data_bytes=GiB, s_nvm_copy=0)
+
+
+class TestPipelineConstruction:
+    def test_requires_flat_node(self):
+        node = KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
+        with pytest.raises(ConfigError):
+            ThreeLevelPipeline(
+                node, StreamKernel(passes=1), ThreeLevelConfig(data_bytes=GiB)
+            )
+
+    def test_inner_buffers_must_fit_mcdram(self):
+        with pytest.raises(CapacityError):
+            make_pipe(inner_chunk_bytes=8 * GiB, outer_chunk_bytes=8 * GiB)
+
+    def test_data_must_fit_nvm(self):
+        with pytest.raises(CapacityError):
+            make_pipe(data_gib=2048)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigError):
+            make_pipe().build_plan("triple")
+
+
+class TestStrategies:
+    def test_chunking_beats_direct(self):
+        pipe = make_pipe(data_gib=50)
+        res = pipe.compare()
+        assert res["single"].elapsed < res["direct"].elapsed
+        assert res["double"].elapsed < res["direct"].elapsed
+
+    def test_double_close_to_single_for_streaming(self):
+        """For streaming kernels the DDR hop hides behind NVM."""
+        pipe = make_pipe(data_gib=50)
+        res = pipe.compare()
+        assert res["double"].elapsed == pytest.approx(
+            res["single"].elapsed, rel=0.15
+        )
+
+    def test_nvm_traffic_identical_across_chunked(self):
+        pipe = make_pipe(data_gib=50)
+        res = pipe.compare()
+        assert res["single"].traffic["nvm"] == pytest.approx(
+            res["double"].traffic["nvm"], rel=1e-6
+        )
+
+    def test_double_stages_through_ddr(self):
+        pipe = make_pipe(data_gib=50)
+        res = pipe.compare()
+        assert res["double"].traffic["ddr"] > 0
+        assert res["single"].traffic["ddr"] == 0
+
+    def test_nvm_floor(self):
+        """No strategy beats data-in + data-out over NVM bandwidth."""
+        pipe = make_pipe(data_gib=50)
+        floor = 2 * 50 * GiB / (10 * GB)
+        for res in pipe.compare().values():
+            assert res.elapsed >= floor * (1 - 1e-9)
+
+    def test_direct_time_scales_with_passes(self):
+        t1 = make_pipe(data_gib=20, passes=1).run("direct").elapsed
+        t4 = make_pipe(data_gib=20, passes=4).run("direct").elapsed
+        assert t4 == pytest.approx(4 * t1, rel=1e-6)
+
+    def test_custom_nvm_bandwidth(self):
+        cfg = ThreeLevelConfig(data_bytes=int(20 * GiB))
+        node = flat_node()
+        slow = ThreeLevelPipeline(
+            node, StreamKernel(passes=2), cfg, nvm_bandwidth=5 * GB
+        ).run("single")
+        fast = ThreeLevelPipeline(
+            flat_node(), StreamKernel(passes=2), cfg, nvm_bandwidth=20 * GB
+        ).run("single")
+        assert fast.elapsed < slow.elapsed

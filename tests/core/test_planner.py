@@ -1,0 +1,98 @@
+"""Tests for model-driven chunk-size and pool planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modes import UsageMode
+from repro.core.planner import plan_chunk_bytes, plan_pools
+from repro.errors import ConfigError
+from repro.model.params import ModelParams
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.units import GiB
+
+
+def node_in(mode, **kw):
+    return KNLNode(KNLNodeConfig(mode=mode, **kw))
+
+
+class TestChunkBytes:
+    def test_flat_buffered_one_third(self):
+        n = node_in(MemoryMode.FLAT)
+        c = plan_chunk_bytes(n, UsageMode.FLAT, total_bytes=100 * GiB)
+        assert c <= 16 * GiB // 3
+        assert c >= 16 * GiB // 3 - 8
+
+    def test_flat_unbuffered_full(self):
+        n = node_in(MemoryMode.FLAT)
+        c = plan_chunk_bytes(n, UsageMode.FLAT, 100 * GiB, buffered=False)
+        assert c == 16 * GiB
+
+    def test_hybrid_smaller_than_flat(self):
+        flat = plan_chunk_bytes(node_in(MemoryMode.FLAT), UsageMode.FLAT, 100 * GiB)
+        hyb = plan_chunk_bytes(
+            node_in(MemoryMode.HYBRID, hybrid_cache_fraction=0.5),
+            UsageMode.HYBRID,
+            100 * GiB,
+        )
+        assert hyb < flat
+
+    def test_implicit_sized_to_cache(self):
+        """Generic kernels get cache-resident implicit chunks; the
+        beyond-MCDRAM megachunk trick is MLM-sort-specific."""
+        n = node_in(MemoryMode.CACHE)
+        assert plan_chunk_bytes(n, UsageMode.IMPLICIT, 48 * GiB) == 16 * GiB
+
+    def test_implicit_small_total_not_padded(self):
+        n = node_in(MemoryMode.CACHE)
+        assert plan_chunk_bytes(n, UsageMode.IMPLICIT, 4 * GiB) == 4 * GiB
+
+    def test_cache_mode_processes_in_place(self):
+        n = node_in(MemoryMode.CACHE)
+        assert plan_chunk_bytes(n, UsageMode.CACHE, 48 * GiB) == 48 * GiB
+
+    def test_small_total_not_padded(self):
+        n = node_in(MemoryMode.FLAT)
+        assert plan_chunk_bytes(n, UsageMode.FLAT, 1 * GiB) == 1 * GiB
+
+    def test_element_aligned(self):
+        n = node_in(MemoryMode.FLAT)
+        c = plan_chunk_bytes(n, UsageMode.FLAT, 100 * GiB, element_size=8)
+        assert c % 8 == 0
+
+    def test_invalid_total(self):
+        with pytest.raises(ConfigError):
+            plan_chunk_bytes(node_in(MemoryMode.FLAT), UsageMode.FLAT, 0)
+
+
+class TestPools:
+    def test_flat_uses_model_optimum(self):
+        n = node_in(MemoryMode.FLAT)
+        pools = plan_pools(n, UsageMode.FLAT, ModelParams(), passes=1, total_threads=256)
+        assert pools.copy_in.size == 10  # Table 3 row 1
+        assert pools.total == 256
+
+    def test_flat_many_passes_few_copy_threads(self):
+        n = node_in(MemoryMode.FLAT)
+        pools = plan_pools(n, UsageMode.FLAT, ModelParams(), passes=64, total_threads=256)
+        assert pools.copy_in.size == 1  # Table 3 row 7
+
+    def test_implicit_all_compute(self):
+        n = node_in(MemoryMode.CACHE)
+        pools = plan_pools(n, UsageMode.IMPLICIT, total_threads=256)
+        assert pools.compute.size == 256
+        assert pools.copy_threads == 0
+
+    def test_default_budget_is_node_threads(self):
+        n = node_in(MemoryMode.CACHE)
+        pools = plan_pools(n, UsageMode.CACHE)
+        assert pools.compute.size == n.total_threads
+
+    def test_tiny_budget_flat_falls_back_to_compute(self):
+        n = node_in(MemoryMode.FLAT)
+        pools = plan_pools(n, UsageMode.FLAT, total_threads=2)
+        assert pools.compute.size == 2
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigError):
+            plan_pools(node_in(MemoryMode.FLAT), UsageMode.FLAT, total_threads=0)

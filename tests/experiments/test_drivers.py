@@ -1,0 +1,257 @@
+"""Tests for the experiment drivers: shape fidelity to the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    run_bender,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.paperdata import TABLE1_SECONDS
+from repro.experiments.runner import (
+    VARIANTS,
+    node_for_variant,
+    paper_megachunk,
+    sort_variant_seconds,
+)
+from repro.simknl.node import MemoryMode
+
+
+# Session-scope results: drivers are deterministic, run each once.
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1()
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    return run_figure6()
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    return run_figure7()
+
+
+@pytest.fixture(scope="module")
+def table3():
+    return run_table3()
+
+
+@pytest.fixture(scope="module")
+def figure8():
+    return run_figure8(repeats=(1, 8, 64))
+
+
+class TestRunnerHelpers:
+    def test_node_modes(self):
+        assert node_for_variant("GNU-cache").mode is MemoryMode.CACHE
+        assert node_for_variant("MLM-implicit").mode is MemoryMode.CACHE
+        assert node_for_variant("MLM-sort").mode is MemoryMode.FLAT
+        assert node_for_variant("GNU-flat").mode is MemoryMode.FLAT
+
+    def test_paper_megachunks(self):
+        assert paper_megachunk(2_000_000_000) == 1_000_000_000
+        assert paper_megachunk(6_000_000_000) == 1_500_000_000
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigError):
+            sort_variant_seconds("quick-sort", 10, "random")
+
+
+class TestTable1(object):
+    def test_has_30_cells(self, table1):
+        assert len(table1.rows) == 30
+
+    def test_all_cells_within_15_percent(self, table1):
+        """Every cell within 15% of the paper, except the suspected
+        6B-random MLM-ddr typo."""
+        for row in table1.rows:
+            if row["paper_s"] is None:
+                continue
+            if (
+                row["elements"] == 6_000_000_000
+                and row["order"] == "random"
+                and row["algorithm"] == "MLM-ddr"
+            ):
+                continue  # paper cell duplicates the 4B row (typo)
+            assert abs(row["deviation"]) < 0.15, row
+
+    def test_mean_deviation_small(self, table1):
+        devs = [
+            abs(r["deviation"])
+            for r in table1.rows
+            if r.get("deviation") is not None
+            and not (
+                r["elements"] == 6_000_000_000
+                and r["order"] == "random"
+                and r["algorithm"] == "MLM-ddr"
+            )
+        ]
+        assert sum(devs) / len(devs) < 0.06
+
+    def test_ordering_within_each_workload(self, table1):
+        """GNU-flat slowest, MLM variants fastest, per workload."""
+        for order in ("random", "reverse"):
+            for n in (2_000_000_000, 4_000_000_000, 6_000_000_000):
+                times = {
+                    r["algorithm"]: r["simulated_s"]
+                    for r in table1.rows
+                    if r["elements"] == n and r["order"] == n_order(order)
+                }
+                assert times["GNU-flat"] > times["GNU-cache"]
+                assert times["GNU-cache"] > times["MLM-ddr"]
+                assert times["MLM-ddr"] > times["MLM-sort"]
+
+    def test_reverse_faster_than_random(self, table1):
+        for algo in VARIANTS:
+            t_rand = [
+                r["simulated_s"]
+                for r in table1.rows
+                if r["algorithm"] == algo and r["order"] == "random"
+            ]
+            t_rev = [
+                r["simulated_s"]
+                for r in table1.rows
+                if r["algorithm"] == algo and r["order"] == "reverse"
+            ]
+            assert all(v < r for v, r in zip(t_rev, t_rand))
+
+
+def n_order(order: str) -> str:
+    return order
+
+
+class TestFigure6:
+    def test_headline_speedup_range(self, figure6):
+        """Best variant lands near the paper's 1.6-1.9x band. The 6B
+        reverse workload overshoots slightly because the paper's
+        MLM-implicit anomaly there (which its authors could not
+        explain) is not reproduced."""
+        best = {}
+        for row in figure6.rows:
+            key = (row["elements"], row["order"])
+            best[key] = max(best.get(key, 0.0), row["speedup"])
+        for v in best.values():
+            assert 1.5 <= v <= 2.3
+
+    def test_speedups_relative_to_gnu_flat(self, figure6):
+        for row in figure6.rows:
+            if row["algorithm"] == "GNU-flat":
+                assert row["speedup"] == pytest.approx(1.0)
+            else:
+                assert row["speedup"] > 1.0
+
+    def test_tracks_paper_speedups(self, figure6):
+        for row in figure6.rows:
+            if row["paper_speedup"] is None:
+                continue
+            if row["elements"] == 6_000_000_000 and row["algorithm"] == "MLM-ddr":
+                continue  # paper typo cell
+            if (
+                row["elements"] == 6_000_000_000
+                and row["order"] == "reverse"
+                and row["algorithm"] == "MLM-implicit"
+            ):
+                continue  # the paper's unexplained implicit anomaly
+            assert row["speedup"] == pytest.approx(
+                row["paper_speedup"], rel=0.18
+            )
+
+
+class TestFigure7:
+    def test_larger_chunks_faster_flat(self, figure7):
+        flat = [r["flat_s"] for r in figure7.rows if "flat_s" in r]
+        # Monotone decreasing until the plateau (allow 2% wiggle).
+        assert flat[0] > flat[-1]
+        for a, b in zip(flat, flat[1:]):
+            assert b <= a * 1.02
+
+    def test_implicit_tolerates_oversize_megachunks(self, figure7):
+        """Beyond-MCDRAM megachunks stay near the implicit minimum."""
+        imp = {r["chunk_elements"]: r["implicit_s"] for r in figure7.rows}
+        best = min(imp.values())
+        assert imp[6_000_000_000] <= best * 1.05
+
+    def test_hybrid_tracks_flat(self, figure7):
+        for row in figure7.rows:
+            if "hybrid_s" in row and "flat_s" in row:
+                assert row["hybrid_s"] == pytest.approx(row["flat_s"], rel=0.02)
+
+    def test_one_gb_chunks_near_minimal(self, figure7):
+        """Paper: 1-1.5 GB chunks give near-minimal times."""
+        flat = {r["chunk_elements"]: r.get("flat_s") for r in figure7.rows}
+        assert flat[1_500_000_000] <= min(
+            v for v in flat.values() if v
+        ) * 1.03
+
+
+class TestTable2:
+    def test_measured_matches_paper(self):
+        res = run_table2()
+        for row in res.rows:
+            assert row["measured_gb"] == pytest.approx(
+                row["paper_gb"], rel=0.05
+            )
+
+
+class TestTable3:
+    def test_model_column_mostly_exact(self, table3):
+        exact = sum(
+            1 for r in table3.rows if r["model"] == r["paper_model"]
+        )
+        assert exact >= 5
+
+    def test_both_columns_monotone_decreasing(self, table3):
+        models = [r["model"] for r in table3.rows]
+        emps = [r["empirical_pow2"] for r in table3.rows]
+        assert models == sorted(models, reverse=True)
+        assert emps == sorted(emps, reverse=True)
+
+    def test_endpoints_match_paper(self, table3):
+        first, last = table3.rows[0], table3.rows[-1]
+        assert first["empirical_pow2"] == first["paper_empirical_pow2"] == 16
+        assert last["empirical_pow2"] == last["paper_empirical_pow2"] == 1
+
+
+class TestFigure8:
+    def test_model_and_empirical_close(self, figure8):
+        """Empirical includes fill/drain, so it's above the model but
+        within ~25%."""
+        for row in figure8.rows:
+            assert row["empirical_s"] >= row["model_s"] * 0.95
+            assert row["empirical_s"] <= row["model_s"] * 1.30
+
+    def test_low_repeats_curve_decreasing(self, figure8):
+        curve = [
+            r["empirical_s"] for r in figure8.rows if r["repeats"] == 1
+        ]
+        assert curve == sorted(curve, reverse=True)
+
+    def test_high_repeats_curve_increasing_tail(self, figure8):
+        curve = [
+            r["empirical_s"] for r in figure8.rows if r["repeats"] == 64
+        ]
+        assert curve[-1] > min(curve)
+
+
+class TestBender:
+    def test_chunking_speedup_direction(self):
+        res = run_bender()
+        speedup = res.rows[0]["simulated"]
+        assert 1.05 < speedup < 1.6
+
+    def test_traffic_reduction_exceeds_prediction(self):
+        res = run_bender()
+        assert res.rows[1]["simulated"] > 2.5
+
+    def test_snir_test_passes(self):
+        res = run_bender()
+        assert res.rows[2]["simulated"] == 1.0

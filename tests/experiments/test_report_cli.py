@@ -1,0 +1,102 @@
+"""Tests for report rendering and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigError
+from repro.experiments.report import render_series, render_table, to_csv
+from repro.experiments.runner import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment="demo",
+        title="Demo result",
+        columns=["x", "y"],
+        rows=[{"x": 1, "y": 2.5}, {"x": 2, "y": 5.0}],
+        notes=["a note"],
+    )
+
+
+class TestRenderTable:
+    def test_contains_title_and_values(self, result):
+        text = render_table(result)
+        assert "Demo result" in text
+        assert "2.500" in text
+        assert "note: a note" in text
+
+    def test_missing_cells_blank(self):
+        r = ExperimentResult("d", "t", ["a", "b"], [{"a": 1}])
+        text = render_table(r)
+        assert "1" in text
+
+    def test_empty_rows(self):
+        r = ExperimentResult("d", "t", ["a"], [])
+        assert "a" in render_table(r)
+
+
+class TestRenderSeries:
+    def test_bars_scale(self, result):
+        text = render_series(result, "x", ["y"])
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_unknown_column(self, result):
+        with pytest.raises(ConfigError):
+            render_series(result, "x", ["z"])
+
+    def test_no_numeric_values(self):
+        r = ExperimentResult("d", "t", ["x", "y"], [{"x": "a", "y": "b"}])
+        with pytest.raises(ConfigError):
+            render_series(r, "x", ["y"])
+
+
+class TestCsv:
+    def test_roundtrip(self, result):
+        text = to_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[1] == "1,2.5"
+
+
+class TestResultColumn:
+    def test_column_access(self, result):
+        assert result.column("y") == [2.5, 5.0]
+
+    def test_unknown_column(self, result):
+        with pytest.raises(ConfigError):
+            result.column("nope")
+
+
+class TestCli:
+    def test_parser_accepts_experiments(self):
+        p = build_parser()
+        args = p.parse_args(["table2"])
+        assert args.experiment == "table2"
+
+    def test_parser_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+    def test_main_runs_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "S_copy" in out
+
+    def test_main_runs_table3_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "t3.csv"
+        assert main(["table3", "--csv", str(csv_path)]) == 0
+        assert csv_path.read_text().startswith("repeats,")
+
+    def test_main_csv_to_stdout(self, capsys):
+        assert main(["table2", "--csv", "-"]) == 0
+        assert "parameter,measured_gb" in capsys.readouterr().out
+
+    def test_main_chart_mode(self, capsys):
+        assert main(["figure7", "--chart"]) == 0
+        assert "#" in capsys.readouterr().out

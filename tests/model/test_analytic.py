@@ -1,0 +1,185 @@
+"""Tests for Equations 1-5 (Section 3.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.model.analytic import (
+    compute_rate_coefficient,
+    compute_time,
+    copy_rate_coefficient,
+    copy_time,
+    predict,
+    total_time,
+)
+from repro.model.params import ModelParams
+from repro.units import GB
+
+P = ModelParams()  # the paper's Table 2 values
+
+
+class TestParams:
+    def test_table2_defaults(self):
+        assert P.b_copy == pytest.approx(14.9 * GB)
+        assert P.ddr_max == pytest.approx(90 * GB)
+        assert P.mcdram_max == pytest.approx(400 * GB)
+        assert P.s_copy == pytest.approx(4.8 * GB)
+        assert P.s_comp == pytest.approx(6.78 * GB)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            ModelParams(b_copy=0)
+        with pytest.raises(ConfigError):
+            ModelParams(s_comp=-1)
+
+    def test_with_data_size(self):
+        q = P.with_data_size(1 * GB)
+        assert q.b_copy == 1 * GB
+        assert q.ddr_max == P.ddr_max
+
+    def test_ddr_saturating_copy_threads(self):
+        # 90 / 4.8 = 18.75 -> 19 threads total, i.e. p_in = 10 each way.
+        assert P.ddr_saturating_copy_threads() == 19
+
+
+class TestEq3CopyRate:
+    def test_unsaturated_returns_s_copy(self):
+        assert copy_rate_coefficient(P, 4, 4) == pytest.approx(4.8 * GB)
+
+    def test_saturated_returns_share(self):
+        c = copy_rate_coefficient(P, 16, 16)
+        assert c == pytest.approx(90 * GB / 32)
+
+    def test_boundary(self):
+        # 18 threads * 4.8 = 86.4 < 90: unsaturated.
+        assert copy_rate_coefficient(P, 9, 9) == pytest.approx(4.8 * GB)
+        # 20 threads * 4.8 = 96 > 90: saturated.
+        assert copy_rate_coefficient(P, 10, 10) == pytest.approx(4.5 * GB)
+
+    def test_zero_threads(self):
+        assert copy_rate_coefficient(P, 0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            copy_rate_coefficient(P, -1, 0)
+
+
+class TestEq2CopyTime:
+    def test_unsaturated_formula(self):
+        # T = 2B / (p * S_copy)
+        t = copy_time(P, 5, 5)
+        assert t == pytest.approx(2 * 14.9 / (10 * 4.8))
+
+    def test_saturated_formula(self):
+        t = copy_time(P, 16, 16)
+        assert t == pytest.approx(2 * 14.9 / 90)
+
+    def test_no_copy_threads_infinite(self):
+        assert math.isinf(copy_time(P, 0, 0))
+
+    def test_monotone_then_flat(self):
+        times = [copy_time(P, p, p) for p in range(1, 40)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a * (1 + 1e-12)
+        assert times[-1] == pytest.approx(2 * 14.9 / 90)
+
+
+class TestEq5ComputeRate:
+    def test_unsaturated_returns_s_comp(self):
+        # 10 * 6.78 + 10 * 4.8 = 115.8 < 400.
+        assert compute_rate_coefficient(P, 10, 5, 5) == pytest.approx(6.78 * GB)
+
+    def test_saturated_shares_leftover(self):
+        # 246 compute + 10 copy threads saturate MCDRAM; copy pools
+        # take their DDR-capped 90, compute splits 310.
+        c = compute_rate_coefficient(P, 246, 5, 5)
+        expected = (400 * GB - 10 * 4.8 * GB) / 246
+        assert c == pytest.approx(expected)
+
+    def test_saturated_with_ddr_capped_copy(self):
+        c = compute_rate_coefficient(P, 236, 10, 10)
+        expected = (400 * GB - 90 * GB) / 236
+        assert c == pytest.approx(expected)
+
+    def test_zero_compute_threads(self):
+        assert compute_rate_coefficient(P, 0, 1, 1) == 0.0
+
+    def test_never_exceeds_s_comp(self):
+        for p_comp in (1, 10, 100, 270):
+            for p in (0, 1, 10, 30):
+                c = compute_rate_coefficient(P, p_comp, p, p)
+                assert c <= P.s_comp * (1 + 1e-12)
+
+
+class TestEq4ComputeTime:
+    def test_formula(self):
+        t = compute_time(P, 10, 5, 5, passes=2.0)
+        assert t == pytest.approx(2 * 14.9 * 2 / (10 * 6.78))
+
+    def test_zero_passes_zero_time(self):
+        assert compute_time(P, 10, 5, 5, passes=0.0) == 0.0
+
+    def test_no_compute_threads_infinite(self):
+        assert math.isinf(compute_time(P, 0, 5, 5))
+
+    def test_negative_passes_rejected(self):
+        with pytest.raises(ConfigError):
+            compute_time(P, 1, 1, 1, passes=-1)
+
+
+class TestEq1Total:
+    def test_is_max(self):
+        t = total_time(P, 246, 5, 5, passes=8)
+        assert t == pytest.approx(
+            max(copy_time(P, 5, 5), compute_time(P, 246, 5, 5, 8))
+        )
+
+    def test_predict_consistency(self):
+        m = predict(P, 246, 5, passes=8)
+        assert m.p_out == 5  # symmetric default
+        assert m.t_total == pytest.approx(max(m.t_copy, m.t_comp))
+        assert m.copy_bound == (m.t_copy >= m.t_comp)
+
+    def test_high_repeats_compute_bound(self):
+        assert not predict(P, 246, 5, passes=64).copy_bound
+
+    def test_low_repeats_copy_bound(self):
+        assert predict(P, 246, 5, passes=1).copy_bound
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    p_in=st.integers(min_value=1, max_value=64),
+    p_comp=st.integers(min_value=1, max_value=272),
+    passes=st.floats(min_value=0.1, max_value=128),
+)
+def test_times_positive_and_total_is_max(p_in, p_comp, passes):
+    m = predict(P, p_comp, p_in, passes=passes)
+    assert m.t_copy > 0
+    assert m.t_comp > 0 or passes == 0
+    assert m.t_total == pytest.approx(max(m.t_copy, m.t_comp))
+
+
+@settings(max_examples=100, deadline=None)
+@given(passes=st.floats(min_value=0.1, max_value=64))
+def test_compute_time_monotone_in_passes(passes):
+    t1 = compute_time(P, 100, 5, 5, passes)
+    t2 = compute_time(P, 100, 5, 5, passes * 2)
+    assert t2 == pytest.approx(2 * t1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    scale=st.floats(min_value=0.1, max_value=10.0),
+    p_in=st.integers(min_value=1, max_value=32),
+)
+def test_copy_time_linear_in_data_size(scale, p_in):
+    q = P.with_data_size(P.b_copy * scale)
+    assert copy_time(q, p_in, p_in) == pytest.approx(
+        copy_time(P, p_in, p_in) * scale
+    )

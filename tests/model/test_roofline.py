@@ -1,0 +1,84 @@
+"""Tests for the Snir bandwidth-boundedness test and roofline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.model.roofline import (
+    is_bandwidth_bound,
+    machine_balance,
+    roofline,
+    sort_is_bandwidth_bound,
+)
+from repro.units import GB
+
+
+class TestMachineBalance:
+    def test_value(self):
+        assert machine_balance(2e12, 90 * GB) == pytest.approx(2e12 / 90e9)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            machine_balance(0, 1)
+        with pytest.raises(ConfigError):
+            machine_balance(1, 0)
+
+
+class TestSnir:
+    def test_low_intensity_is_bandwidth_bound(self):
+        # 0.1 op/byte against a balance of ~22 op/byte.
+        assert is_bandwidth_bound(1e9, 1e10, 2e12, 90 * GB)
+
+    def test_high_intensity_is_compute_bound(self):
+        assert not is_bandwidth_bound(1e14, 1e9, 2e12, 90 * GB)
+
+    def test_zero_traffic_rejected(self):
+        with pytest.raises(ConfigError):
+            is_bandwidth_bound(1.0, 0.0, 1.0, 1.0)
+
+
+class TestRoofline:
+    def test_bandwidth_regime(self):
+        pt = roofline(1e9, 1e10, 2e12, 90 * GB)
+        assert pt.bandwidth_bound
+        assert pt.attainable == pytest.approx(pt.intensity * 90e9)
+
+    def test_compute_regime(self):
+        pt = roofline(1e14, 1e9, 2e12, 90 * GB)
+        assert not pt.bandwidth_bound
+        assert pt.attainable == 2e12
+
+    def test_ridge_point(self):
+        balance = machine_balance(2e12, 90 * GB)
+        pt = roofline(balance * 1e9, 1e9, 2e12, 90 * GB)
+        assert pt.attainable == pytest.approx(2e12)
+
+
+class TestSortBoundedness:
+    def test_sort_on_knl_is_bandwidth_bound(self):
+        """Bender et al.'s prediction: at high core counts mergesort's
+        ~1-2 compare ops per byte is far below KNL's balance."""
+        assert sort_is_bandwidth_bound(
+            n=2_000_000_000,
+            element_size=8,
+            compare_ops_per_element_pass=8.0,
+            passes=31.0,
+            peak_ops=68 * 1.4e9 * 2,  # 68 cores, 1.4 GHz, 2 ops/cycle
+            bandwidth=90 * GB,
+        )
+
+    def test_tiny_machine_not_bandwidth_bound(self):
+        """A single slow core cannot saturate memory."""
+        assert not sort_is_bandwidth_bound(
+            n=1_000_000,
+            element_size=8,
+            compare_ops_per_element_pass=50.0,
+            passes=20.0,
+            peak_ops=1e8,
+            bandwidth=90 * GB,
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            sort_is_bandwidth_bound(0, 8, 1, 1, 1, 1)

@@ -1,0 +1,244 @@
+"""Tests for the analytic streaming cache model, including ground-truth
+agreement with the functional line-level simulator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.simknl.cache import DirectMappedCache
+from repro.simknl.cache_analytic import CacheTraffic, StreamingCacheModel
+
+
+class TestConstruction:
+    def test_usable_capacity(self):
+        m = StreamingCacheModel(1024, 64)
+        assert m.usable_capacity == 1024
+
+    def test_tag_overhead(self):
+        m = StreamingCacheModel(1024, 64, tag_overhead=0.25)
+        assert m.usable_capacity == 768
+
+    def test_fits(self):
+        m = StreamingCacheModel(1024, 64)
+        assert m.fits(1024)
+        assert not m.fits(1025)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            StreamingCacheModel(32, 64)
+        with pytest.raises(ConfigError):
+            StreamingCacheModel(1024, 64, tag_overhead=1.0)
+
+
+class TestFittingRegime:
+    def test_single_pass_all_cold(self):
+        m = StreamingCacheModel(4096, 64)
+        t = m.stream(1024, passes=1)
+        assert t.misses == 16
+        assert t.hits == 0
+        assert t.ddr_bytes == 1024
+
+    def test_later_passes_hit(self):
+        m = StreamingCacheModel(4096, 64)
+        t = m.stream(1024, passes=3)
+        assert t.misses == 16
+        assert t.hits == 32
+        assert t.ddr_bytes == 1024  # only the cold fill
+
+    def test_warm_start_no_misses(self):
+        m = StreamingCacheModel(4096, 64)
+        t = m.stream(1024, passes=2, cold=False)
+        assert t.misses == 0
+        assert t.hits == 32
+        assert t.ddr_bytes == 0
+
+    def test_dirty_written_back_once(self):
+        m = StreamingCacheModel(4096, 64)
+        t = m.stream(1024, passes=3, write_fraction=1.0)
+        assert t.writebacks == 16
+        assert t.ddr_bytes == 1024 + 1024
+
+    def test_no_flush_keeps_dirty_resident(self):
+        m = StreamingCacheModel(4096, 64)
+        t = m.stream(1024, passes=1, write_fraction=1.0, flush=False)
+        assert t.writebacks == 0
+
+
+class TestThrashingRegime:
+    def test_every_pass_misses(self):
+        m = StreamingCacheModel(1024, 64)  # 16 lines
+        t = m.stream(2048, passes=3)  # 32 lines
+        assert t.misses == 96
+        assert t.hits == 0
+        assert t.hit_rate == 0.0
+
+    def test_ddr_traffic_scales_with_passes(self):
+        m = StreamingCacheModel(1024, 64)
+        t1 = m.stream(2048, passes=1)
+        t3 = m.stream(2048, passes=3)
+        assert t3.ddr_bytes == pytest.approx(3 * t1.ddr_bytes)
+
+    def test_writebacks_every_pass(self):
+        m = StreamingCacheModel(1024, 64)
+        t = m.stream(2048, passes=2, write_fraction=1.0)
+        # 32 lines dirtied and evicted on each of the 2 passes.
+        assert t.writebacks == 64
+
+    def test_amplification_above_one(self):
+        """Thrashing cache mode moves more DDR bytes than flat mode would."""
+        m = StreamingCacheModel(1024, 64)
+        t = m.stream(16 * 1024, passes=1, write_fraction=0.5)
+        assert t.ddr_amplification > 0.4
+
+
+class TestEdgeCases:
+    def test_zero_working_set(self):
+        m = StreamingCacheModel(1024, 64)
+        t = m.stream(0, passes=5)
+        assert t == CacheTraffic(0.0, 0.0, 0, 0, 0)
+
+    def test_zero_passes(self):
+        m = StreamingCacheModel(1024, 64)
+        assert m.stream(1024, passes=0).misses == 0
+
+    def test_partial_line_rounds_up(self):
+        m = StreamingCacheModel(1024, 64)
+        assert m.stream(65, passes=1).misses == 2
+
+    def test_invalid_args(self):
+        m = StreamingCacheModel(1024, 64)
+        with pytest.raises(ConfigError):
+            m.stream(-1)
+        with pytest.raises(ConfigError):
+            m.stream(10, passes=-1)
+        with pytest.raises(ConfigError):
+            m.stream(10, write_fraction=1.5)
+
+    def test_multipliers_zero_workload(self):
+        m = StreamingCacheModel(1024, 64)
+        assert m.multipliers(0, 1) == {"mcdram": 0.0, "ddr": 0.0}
+
+    def test_multipliers_fitting(self):
+        """Fitting working set: mcdram-dominant multipliers."""
+        m = StreamingCacheModel(4096, 64)
+        mult = m.multipliers(1024, passes=4)
+        assert mult["ddr"] == pytest.approx(0.25)
+        assert mult["mcdram"] > 1.0
+
+    def test_multipliers_thrashing(self):
+        m = StreamingCacheModel(1024, 64)
+        mult = m.multipliers(4096, passes=1)
+        assert mult["ddr"] == pytest.approx(1.0)
+        assert mult["mcdram"] == pytest.approx(2.0)
+
+
+# ---- agreement with the functional simulator -----------------------------
+
+
+def _functional_stream(capacity, line, working_set, passes, write):
+    c = DirectMappedCache(capacity=capacity, line_size=line)
+    for _ in range(passes):
+        c.access_range(0, working_set, write=write)
+    c.flush()
+    ddr, mcdram = c.traffic()
+    return c.stats, ddr, mcdram
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    nlines_cache=st.integers(min_value=1, max_value=64),
+    nlines_ws=st.integers(min_value=1, max_value=256),
+    passes=st.integers(min_value=1, max_value=4),
+    write=st.booleans(),
+)
+def test_analytic_matches_functional(nlines_cache, nlines_ws, passes, write):
+    """On whole-line sequential streams the analytic model reproduces
+    the functional simulator's hit/miss/writeback counts exactly."""
+    line = 64
+    capacity = nlines_cache * line
+    ws = nlines_ws * line
+    stats, ddr_f, mcdram_f = _functional_stream(
+        capacity, line, ws, passes, write
+    )
+    model = StreamingCacheModel(capacity, line)
+    t = model.stream(ws, passes=passes, write_fraction=1.0 if write else 0.0)
+    assert t.misses == stats.misses
+    assert t.hits == stats.hits
+    assert t.writebacks == stats.writebacks
+    assert t.ddr_bytes == pytest.approx(ddr_f)
+    assert t.mcdram_bytes == pytest.approx(mcdram_f)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ws=st.integers(min_value=64, max_value=64 * 512),
+    passes=st.integers(min_value=1, max_value=5),
+)
+def test_more_passes_never_reduces_traffic(ws, passes):
+    m = StreamingCacheModel(64 * 32, 64)
+    a = m.stream(ws, passes=passes)
+    b = m.stream(ws, passes=passes + 1)
+    assert b.ddr_bytes >= a.ddr_bytes
+    assert b.mcdram_bytes >= a.mcdram_bytes
+
+
+class TestPollution:
+    """The Fig. 4 effect: foreign streams evict a cache-resident
+    working set between its passes."""
+
+    def test_no_pollution_matches_stream(self):
+        m = StreamingCacheModel(1024, 64)
+        assert m.stream_with_pollution(512, 4) == m.stream(512, 4)
+
+    def test_pollution_adds_misses(self):
+        m = StreamingCacheModel(64 * 256, 64)
+        clean = m.stream(64 * 128, passes=6)
+        dirty = m.stream_with_pollution(
+            64 * 128, passes=6, pollution_bytes_per_pass=64 * 64
+        )
+        assert dirty.misses > clean.misses
+        assert dirty.hits < clean.hits
+        assert dirty.ddr_bytes > clean.ddr_bytes
+
+    def test_full_pollution_evicts_everything(self):
+        """Pollution >= cache: every pass re-misses the working set."""
+        m = StreamingCacheModel(64 * 256, 64)
+        t = m.stream_with_pollution(
+            64 * 128, passes=4, pollution_bytes_per_pass=64 * 1024
+        )
+        assert t.hits == 0
+        assert t.misses == 128 * 4
+
+    def test_thrashing_unaffected(self):
+        m = StreamingCacheModel(1024, 64)
+        base = m.stream(4096, passes=2)
+        assert m.stream_with_pollution(
+            4096, passes=2, pollution_bytes_per_pass=10_000
+        ) == base
+
+    def test_negative_pollution_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamingCacheModel(1024, 64).stream_with_pollution(
+                512, 1, pollution_bytes_per_pass=-1
+            )
+
+    def test_matches_functional_victim_stream(self):
+        """Analytic victim misses track a line-level interleaving of
+        victim passes and fresh pollution sweeps within ~10%."""
+        line, C, ws, P, passes = 64, 64 * 256, 64 * 128, 64 * 64, 6
+        cache = DirectMappedCache(capacity=C, line_size=line)
+        poll_base = 10_000_000
+        victim_misses = 0
+        for p in range(passes):
+            m0 = cache.stats.misses
+            cache.access_range(0, ws, write=False)
+            victim_misses += cache.stats.misses - m0
+            cache.access_range(poll_base + p * P, P, write=False)
+        model = StreamingCacheModel(C, line)
+        t = model.stream_with_pollution(
+            ws, passes=passes, pollution_bytes_per_pass=P
+        )
+        assert t.misses == pytest.approx(victim_misses, rel=0.10)

@@ -1,0 +1,82 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simknl.energy import (
+    DEFAULT_ENERGY_PER_BYTE,
+    EnergyModel,
+    EnergyReport,
+)
+from repro.simknl.engine import RunResult
+
+
+def result(ddr=1e9, mcdram=4e9, elapsed=1.0):
+    return RunResult(
+        elapsed=elapsed,
+        traffic={"ddr": ddr, "mcdram": mcdram},
+        phase_times=[elapsed],
+    )
+
+
+class TestEnergyModel:
+    def test_dynamic_energy_proportional_to_traffic(self):
+        m = EnergyModel(idle_power={})
+        r1 = m.report(result(ddr=1e9, mcdram=0))
+        r2 = m.report(result(ddr=2e9, mcdram=0))
+        assert r2.dynamic_joules["ddr"] == pytest.approx(
+            2 * r1.dynamic_joules["ddr"]
+        )
+
+    def test_ddr_costs_more_per_byte(self):
+        m = EnergyModel(idle_power={})
+        rep = m.report(result(ddr=1e9, mcdram=1e9))
+        assert rep.dynamic_joules["ddr"] > rep.dynamic_joules["mcdram"]
+
+    def test_idle_energy_scales_with_time(self):
+        m = EnergyModel(energy_per_byte={}, idle_power={"ddr": 10.0})
+        rep = m.report(result(elapsed=2.0))
+        assert rep.idle_joules["ddr"] == pytest.approx(20.0)
+
+    def test_total_and_edp(self):
+        m = EnergyModel(
+            energy_per_byte={"ddr": 1e-9}, idle_power={"ddr": 1.0}
+        )
+        rep = m.report(result(ddr=1e9, mcdram=0, elapsed=2.0))
+        assert rep.total_joules == pytest.approx(1.0 + 2.0)
+        assert rep.energy_delay_product == pytest.approx(6.0)
+
+    def test_unknown_resources_free(self):
+        m = EnergyModel(energy_per_byte={}, idle_power={})
+        rep = m.report(result())
+        assert rep.total_joules == 0.0
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigError):
+            EnergyModel(energy_per_byte={"ddr": -1.0})
+        with pytest.raises(ConfigError):
+            EnergyModel(idle_power={"ddr": -1.0})
+
+    def test_defaults_mcdram_cheaper(self):
+        assert (
+            DEFAULT_ENERGY_PER_BYTE["mcdram"]
+            < DEFAULT_ENERGY_PER_BYTE["ddr"]
+        )
+
+
+class TestOnRealRuns:
+    def test_implicit_cheaper_than_gnu(self):
+        """Chunked MCDRAM-heavy execution saves energy vs DDR-heavy."""
+        from repro.experiments.runner import sort_variant_run
+
+        m = EnergyModel()
+        e_gnu = m.report(
+            sort_variant_run("GNU-flat", 2_000_000_000, "random")
+        )
+        e_imp = m.report(
+            sort_variant_run("MLM-implicit", 2_000_000_000, "random")
+        )
+        assert e_imp.total_joules < e_gnu.total_joules
+        assert e_imp.energy_delay_product < e_gnu.energy_delay_product

@@ -1,0 +1,112 @@
+"""Tests for trace/utilization/Gantt/Chrome-trace exports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simknl.engine import Engine, Phase, Plan
+from repro.simknl.flows import Flow, Resource
+from repro.simknl.trace import (
+    phase_utilizations,
+    render_gantt,
+    to_chrome_trace,
+)
+from repro.units import GB
+
+
+@pytest.fixture
+def executed():
+    resources = [Resource("ddr", 90 * GB), Resource("mcdram", 400 * GB)]
+    plan = Plan(
+        "p",
+        [
+            Phase(
+                "step0",
+                [Flow("copy", 32, 4.8 * GB, {"ddr": 1.0, "mcdram": 1.0}, 9 * GB)],
+            ),
+            Phase(
+                "step1",
+                [
+                    Flow("copy", 32, 4.8 * GB, {"ddr": 1.0, "mcdram": 1.0}, 9 * GB),
+                    Flow("comp", 200, 6.78 * GB, {"mcdram": 1.0}, 40 * GB),
+                ],
+            ),
+        ],
+    )
+    result = Engine(resources).run(plan)
+    return plan, result
+
+
+class TestUtilization:
+    def test_phase_count(self, executed):
+        plan, result = executed
+        utils = phase_utilizations(
+            plan, result, {"ddr": 90 * GB, "mcdram": 400 * GB}
+        )
+        assert len(utils) == 2
+
+    def test_saturated_device_full_utilization(self, executed):
+        plan, result = executed
+        utils = phase_utilizations(
+            plan, result, {"ddr": 90 * GB, "mcdram": 400 * GB}
+        )
+        # Step 0: 32 copy threads saturate DDR.
+        assert utils[0].device_utilization["ddr"] == pytest.approx(1.0)
+        assert utils[0].device_utilization["mcdram"] < 0.5
+
+    def test_timeline_positions(self, executed):
+        plan, result = executed
+        utils = phase_utilizations(
+            plan, result, {"ddr": 90 * GB, "mcdram": 400 * GB}
+        )
+        assert utils[0].start == 0.0
+        assert utils[1].start == pytest.approx(utils[0].duration)
+
+    def test_bytes_per_device(self, executed):
+        plan, result = executed
+        utils = phase_utilizations(
+            plan, result, {"ddr": 90 * GB, "mcdram": 400 * GB}
+        )
+        assert utils[1].device_bytes["mcdram"] == pytest.approx(49 * GB)
+
+    def test_mismatched_plan_rejected(self, executed):
+        plan, result = executed
+        bad = Plan("q", plan.phases[:1])
+        with pytest.raises(ConfigError):
+            phase_utilizations(bad, result, {})
+
+
+class TestGantt:
+    def test_contains_all_phases(self, executed):
+        plan, result = executed
+        text = render_gantt(plan, result)
+        assert "step0" in text
+        assert "step1" in text
+        assert "#" in text
+
+    def test_zero_run_rejected(self, executed):
+        plan, result = executed
+        from repro.simknl.engine import RunResult
+
+        empty = RunResult(elapsed=0.0, traffic={}, phase_times=[])
+        with pytest.raises(ConfigError):
+            render_gantt(plan, empty)
+
+
+class TestChromeTrace:
+    def test_valid_json_with_events(self, executed):
+        plan, result = executed
+        data = json.loads(to_chrome_trace(plan, result))
+        events = data["traceEvents"]
+        assert len(events) == 3
+        assert all(e["ph"] == "X" for e in events)
+        assert events[0]["ts"] == 0.0
+
+    def test_durations_match_phases(self, executed):
+        plan, result = executed
+        data = json.loads(to_chrome_trace(plan, result))
+        durs = {e["args"]["phase"]: e["dur"] for e in data["traceEvents"]}
+        assert durs["step0"] == pytest.approx(result.phase_times[0] * 1e6)

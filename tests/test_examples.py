@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs end to end.
+
+``reproduce_paper.py`` is excluded (it re-runs every driver and is
+covered by the benchmark harness); the others execute in seconds.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = [
+    ("quickstart.py", []),
+    ("out_of_core_sort.py", []),
+    ("tune_copy_threads.py", ["4"]),
+    ("usage_mode_explorer.py", ["20", "4"]),
+    ("three_level_memory.py", ["25"]),
+    ("trace_pipeline.py", []),
+]
+
+
+@pytest.mark.parametrize("script,argv", SCRIPTS, ids=[s for s, _ in SCRIPTS])
+def test_example_runs(script, argv, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [str(path), *argv])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_trace_example_writes_chrome_trace(tmp_path, capsys, monkeypatch):
+    path = EXAMPLES / "trace_pipeline.py"
+    trace = tmp_path / "trace.json"
+    monkeypatch.setattr(sys, "argv", [str(path), str(trace)])
+    runpy.run_path(str(path), run_name="__main__")
+    assert trace.exists()
+    assert "traceEvents" in trace.read_text()

@@ -1,0 +1,61 @@
+"""Tests for unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.units import (
+    CACHE_LINE,
+    GB,
+    GiB,
+    INT64,
+    bytes_to_elements,
+    elements_to_bytes,
+    gb,
+    gib,
+    to_gb,
+    to_gib,
+)
+
+
+class TestConstants:
+    def test_decimal_vs_binary(self):
+        assert GB == 10**9
+        assert GiB == 2**30
+        assert GiB > GB
+
+    def test_knl_constants(self):
+        assert CACHE_LINE == 64
+        assert INT64 == 8
+
+
+class TestConversions:
+    def test_gb_roundtrip(self):
+        assert to_gb(gb(14.9)) == pytest.approx(14.9)
+
+    def test_gib_roundtrip(self):
+        assert to_gib(gib(16)) == pytest.approx(16.0)
+
+    def test_paper_sizes(self):
+        """2 B int64 elements = 16 GB, the Table 1 smallest workload."""
+        assert to_gb(elements_to_bytes(2_000_000_000)) == pytest.approx(16.0)
+
+    def test_elements_roundtrip(self):
+        assert bytes_to_elements(elements_to_bytes(12345)) == 12345
+
+    def test_bytes_to_elements_floors(self):
+        assert bytes_to_elements(15) == 1
+        assert bytes_to_elements(7) == 0
+
+    def test_custom_element_size(self):
+        assert elements_to_bytes(10, element_size=4) == 40
+        assert bytes_to_elements(40, element_size=4) == 10
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ReproError):
+            elements_to_bytes(-1)
+        with pytest.raises(ReproError):
+            elements_to_bytes(1, element_size=0)
+        with pytest.raises(ReproError):
+            bytes_to_elements(8, element_size=0)

@@ -1,0 +1,124 @@
+"""Tests for the OpenMP-like loop scheduling model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.threads.omp import LoopSchedule, ScheduleKind, simulate_loop
+
+
+class TestStatic:
+    def test_uniform_costs_perfectly_balanced(self):
+        s = simulate_loop(np.ones(100), threads=4)
+        assert s.makespan == pytest.approx(25.0)
+        assert s.efficiency == pytest.approx(1.0)
+
+    def test_uneven_division(self):
+        s = simulate_loop(np.ones(10), threads=4)
+        # blocks of 3,3,2,2
+        assert s.makespan == pytest.approx(3.0)
+
+    def test_skewed_costs_hurt_static(self):
+        costs = np.zeros(100)
+        costs[:25] = 1.0  # all work in the first thread's block
+        s = simulate_loop(costs, threads=4)
+        assert s.makespan == pytest.approx(25.0)
+        assert s.efficiency == pytest.approx(0.25)
+
+    def test_static_chunked_round_robin(self):
+        costs = np.zeros(100)
+        costs[:25] = 1.0
+        s = simulate_loop(costs, threads=4, kind=ScheduleKind.STATIC, chunk=1)
+        # Round-robin spreads the hot region across threads.
+        assert s.makespan == pytest.approx(7.0)
+
+    def test_more_threads_than_iterations(self):
+        s = simulate_loop(np.ones(2), threads=8)
+        assert s.makespan == pytest.approx(1.0)
+        assert s.total_work == pytest.approx(2.0)
+
+
+class TestDynamic:
+    def test_dynamic_balances_skew(self):
+        costs = np.zeros(100)
+        costs[:25] = 1.0
+        s = simulate_loop(costs, threads=4, kind=ScheduleKind.DYNAMIC)
+        assert s.makespan == pytest.approx(7.0)
+
+    def test_dynamic_chunked(self):
+        s = simulate_loop(np.ones(100), threads=4, kind=ScheduleKind.DYNAMIC, chunk=10)
+        assert s.makespan == pytest.approx(30.0)
+
+    def test_single_thread_is_serial(self):
+        costs = np.arange(10, dtype=float)
+        s = simulate_loop(costs, threads=1, kind=ScheduleKind.DYNAMIC)
+        assert s.makespan == pytest.approx(costs.sum())
+
+
+class TestGuided:
+    def test_guided_completes_all_work(self):
+        costs = np.ones(100)
+        s = simulate_loop(costs, threads=4, kind=ScheduleKind.GUIDED)
+        assert s.total_work == pytest.approx(100.0)
+        assert s.makespan >= 25.0
+
+    def test_guided_decreasing_chunks_balance(self):
+        rng = np.random.default_rng(0)
+        costs = rng.random(500)
+        s = simulate_loop(costs, threads=8, kind=ScheduleKind.GUIDED)
+        assert s.efficiency > 0.8
+
+
+class TestValidation:
+    def test_empty_loop(self):
+        s = simulate_loop([], threads=4)
+        assert s.makespan == 0.0
+        assert s.efficiency == 1.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_loop([-1.0], threads=1)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_loop([1.0], threads=0)
+
+    def test_bad_chunk_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_loop([1.0], threads=1, chunk=0)
+
+    def test_2d_costs_rejected(self):
+        with pytest.raises(ConfigError):
+            simulate_loop(np.ones((2, 2)), threads=1)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    costs=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=100),
+    threads=st.integers(min_value=1, max_value=16),
+    kind=st.sampled_from(list(ScheduleKind)),
+)
+def test_makespan_bounds(costs, threads, kind):
+    """total/p <= makespan <= total, and all work is executed."""
+    s = simulate_loop(costs, threads=threads, kind=kind)
+    total = sum(costs)
+    assert s.total_work == pytest.approx(total, rel=1e-9, abs=1e-9)
+    assert s.makespan <= total * (1 + 1e-9) + 1e-9
+    assert s.makespan >= total / threads * (1 - 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=80
+    ),
+    threads=st.integers(min_value=1, max_value=8),
+)
+def test_dynamic_never_worse_than_serial(costs, threads):
+    s = simulate_loop(costs, threads=threads, kind=ScheduleKind.DYNAMIC)
+    s1 = simulate_loop(costs, threads=1, kind=ScheduleKind.DYNAMIC)
+    assert s.makespan <= s1.makespan * (1 + 1e-9)

@@ -1,0 +1,123 @@
+"""Validation of the divide-and-conquer cache-split assumption.
+
+The timed sort plans assume that a recursive sort over a working set
+``W`` behind a cache ``C`` thrashes only during its top
+``~log2(W / C)`` levels (``dc_cache_split``). These tests check that
+assumption against the line-level cache simulator using instrumented
+mergesorts — including the ordering caveat (depth-first required) and
+the empirical justification of the ``thrash_level_offset`` knob.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simknl.cache import DirectMappedCache
+from repro.validation.dc_trace import (
+    measure_dc_levels,
+    predicted_thrashing_levels,
+    traced_mergesort,
+    traced_mergesort_depth_first,
+)
+
+CACHE = 1 << 16  # 64 KiB
+BASE = 1 << 10  # 1 KiB base runs
+
+
+class TestTracedMergesort:
+    def test_level_count(self):
+        cache = DirectMappedCache(capacity=CACHE)
+        levels = traced_mergesort(8 * BASE, cache, base_run=BASE)
+        assert len(levels) == 3  # 8 runs -> 3 doubling levels
+
+    def test_run_sizes_double(self):
+        cache = DirectMappedCache(capacity=CACHE)
+        levels = traced_mergesort(8 * BASE, cache, base_run=BASE)
+        assert [s.run_bytes for s in levels] == [2 * BASE, 4 * BASE, 8 * BASE]
+
+    def test_fitting_sort_hits_after_warm(self):
+        cache = DirectMappedCache(capacity=CACHE)
+        ws = CACHE // 4
+        temp = ws + cache.usable_capacity // 2 + cache.line_size
+        cache.access_range(0, ws, write=True)
+        cache.access_range(temp, ws, write=True)
+        levels = traced_mergesort(ws, cache, base_run=BASE, temp_offset=temp)
+        for s in levels:
+            assert s.miss_rate < 0.05
+
+    def test_invalid_args(self):
+        cache = DirectMappedCache(capacity=CACHE)
+        with pytest.raises(ConfigError):
+            traced_mergesort(0, cache)
+        with pytest.raises(ConfigError):
+            traced_mergesort(1024, cache, base_run=0)
+        with pytest.raises(ConfigError):
+            traced_mergesort_depth_first(0, cache)
+
+
+class TestDepthFirstMatchesAnalyticSplit:
+    @pytest.mark.parametrize("mult", [2, 4, 8, 16])
+    def test_thrashing_levels_match_prediction(self, mult):
+        """Measured thrashing levels equal log2(2W/C) exactly once the
+        data/temp aliasing pathology is avoided — the analytic
+        dc_cache_split is validated against line-level ground truth."""
+        ws = CACHE * mult
+        measured, total = measure_dc_levels(ws, CACHE, base_run=BASE)
+        predicted = predicted_thrashing_levels(ws, CACHE, total)
+        assert measured == pytest.approx(predicted, abs=0.5)
+
+    def test_fitting_working_set_never_thrashes(self):
+        measured, _ = measure_dc_levels(CACHE // 4, CACHE, base_run=BASE)
+        assert measured == 0
+
+    def test_deeper_levels_hit(self):
+        """The thrashing band is the *top* of the recursion."""
+        cache = DirectMappedCache(capacity=CACHE)
+        ws = CACHE * 4
+        cache.access_range(0, ws, write=True)
+        cache.access_range(ws, ws, write=True)
+        levels = traced_mergesort_depth_first(ws, cache, base_run=BASE)
+        # Level 0 pays residual cold misses on its temp halves; all
+        # other cache-resident levels hit nearly perfectly.
+        small = [
+            s for s in levels if s.level > 0 and s.run_bytes <= CACHE // 4
+        ]
+        big = [s for s in levels if s.run_bytes >= 2 * CACHE]
+        assert all(s.miss_rate < 0.1 for s in small)
+        assert all(s.miss_rate > 0.5 for s in big)
+
+
+class TestOrderingMatters:
+    def test_breadth_first_thrashes_every_level(self):
+        """Bottom-up merging streams the whole working set per level,
+        so nothing survives — the active-set argument requires
+        depth-first order, as the paper's serial sorts provide."""
+        ws = CACHE * 4
+        measured, total = measure_dc_levels(
+            ws, CACHE, base_run=BASE, depth_first=False
+        )
+        assert measured == total
+
+    def test_depth_first_strictly_better(self):
+        ws = CACHE * 4
+        df, total_df = measure_dc_levels(ws, CACHE, base_run=BASE)
+        bf, _ = measure_dc_levels(ws, CACHE, base_run=BASE, depth_first=False)
+        assert df < bf
+        assert df <= total_df / 2
+
+
+class TestPrediction:
+    def test_fitting_zero(self):
+        assert predicted_thrashing_levels(100, 1000, 10.0) == 0.0
+
+    def test_clamped_to_total(self):
+        assert predicted_thrashing_levels(1 << 40, 1 << 10, 5.0) == 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            predicted_thrashing_levels(0, 1, 1.0)
+
+    def test_tiny_working_set_rejected(self):
+        with pytest.raises(ConfigError):
+            measure_dc_levels(BASE, CACHE, base_run=BASE)

@@ -1,0 +1,97 @@
+"""Tests for workload generators and descriptors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads import ORDERS, WorkloadSpec, generate, paper_table1_specs
+
+
+class TestGenerate:
+    def test_random_is_not_sorted(self):
+        a = generate(1000, "random", seed=0)
+        assert not np.all(np.diff(a) >= 0)
+
+    def test_reverse_is_strictly_decreasing(self):
+        a = generate(100, "reverse")
+        assert np.all(np.diff(a) < 0)
+
+    def test_sorted_is_nondecreasing(self):
+        a = generate(100, "sorted")
+        assert np.all(np.diff(a) >= 0)
+
+    def test_nearly_sorted_mostly_ordered(self):
+        a = generate(1000, "nearly-sorted", seed=1)
+        inversions = np.sum(np.diff(a) < 0)
+        assert 0 < inversions < 100
+
+    def test_few_unique_cardinality(self):
+        a = generate(1000, "few-unique")
+        assert len(np.unique(a)) <= 8
+
+    def test_deterministic_by_seed(self):
+        assert np.array_equal(
+            generate(100, "random", seed=7), generate(100, "random", seed=7)
+        )
+        assert not np.array_equal(
+            generate(100, "random", seed=7), generate(100, "random", seed=8)
+        )
+
+    def test_zero_elements(self):
+        for order in ORDERS:
+            assert len(generate(0, order)) == 0
+
+    def test_dtype_is_int64(self):
+        for order in ORDERS:
+            assert generate(10, order).dtype == np.int64
+
+    def test_unknown_order(self):
+        with pytest.raises(ConfigError):
+            generate(10, "zigzag")
+
+    def test_negative_n(self):
+        with pytest.raises(ConfigError):
+            generate(-1)
+
+
+class TestWorkloadSpec:
+    def test_nbytes(self):
+        assert WorkloadSpec(n=1000).nbytes == 8000
+
+    def test_materialize_respects_order(self):
+        spec = WorkloadSpec(n=50, order="reverse")
+        a = spec.materialize()
+        assert np.all(np.diff(a) < 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(n=0)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(n=1, order="bogus")
+        with pytest.raises(ConfigError):
+            WorkloadSpec(n=1, element_size=0)
+
+
+class TestPaperSpecs:
+    def test_six_workloads(self):
+        specs = paper_table1_specs()
+        assert len(specs) == 6
+        sizes = {s.n for s in specs}
+        assert sizes == {2_000_000_000, 4_000_000_000, 6_000_000_000}
+        assert {s.order for s in specs} == {"random", "reverse"}
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=0, max_value=2000),
+    order=st.sampled_from(ORDERS),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_generate_shape_and_sortability(n, order, seed):
+    a = generate(n, order, seed)
+    assert len(a) == n
+    assert np.all(np.diff(np.sort(a)) >= 0)

@@ -1,0 +1,207 @@
+"""Tests for presortedness measures and order-factor estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.algorithms.costs import SortCostModel
+from repro.errors import ConfigError
+from repro.workloads import generate
+from repro.workloads.presortedness import (
+    classify_order,
+    count_ascending_runs,
+    count_inversions,
+    count_monotone_runs,
+    estimate_order_factor,
+    normalized_inversions,
+    rem,
+    run_structure,
+)
+
+
+class TestRuns:
+    def test_sorted_one_run(self):
+        assert count_ascending_runs(np.arange(100)) == 1
+        assert count_monotone_runs(np.arange(100)) == 1
+
+    def test_reverse_runs(self):
+        rev = np.arange(100)[::-1].copy()
+        assert count_ascending_runs(rev) == 100
+        assert count_monotone_runs(rev) == 1  # one descending run
+
+    def test_alternating(self):
+        a = np.array([1, 5, 2, 6, 3, 7])
+        assert count_ascending_runs(a) == 3
+
+    def test_empty_and_single(self):
+        assert count_ascending_runs(np.array([])) == 0
+        assert count_monotone_runs(np.array([7])) == 1
+
+    def test_all_equal_one_run(self):
+        a = np.full(50, 3)
+        assert count_ascending_runs(a) == 1
+        assert count_monotone_runs(a) == 1
+
+    def test_organ_pipe_two_monotone_runs(self):
+        a = np.concatenate([np.arange(50), np.arange(50)[::-1]])
+        assert count_monotone_runs(a) == 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            count_ascending_runs(np.zeros((2, 2)))
+
+
+class TestInversions:
+    def test_sorted_zero(self):
+        assert count_inversions(np.arange(100)) == 0
+
+    def test_reverse_maximum(self):
+        n = 50
+        rev = np.arange(n)[::-1].copy()
+        assert count_inversions(rev) == n * (n - 1) // 2
+
+    def test_single_swap(self):
+        a = np.array([0, 2, 1, 3])
+        assert count_inversions(a) == 1
+
+    def test_duplicates_not_inversions(self):
+        assert count_inversions(np.array([1, 1, 1])) == 0
+
+    def test_brute_force_agreement(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 20, 60)
+        brute = sum(
+            1
+            for i in range(len(a))
+            for j in range(i + 1, len(a))
+            if a[i] > a[j]
+        )
+        assert count_inversions(a) == brute
+
+    def test_normalized_extremes(self):
+        assert normalized_inversions(np.arange(50)) == 0.0
+        assert normalized_inversions(np.arange(50)[::-1].copy()) == 1.0
+
+
+class TestRem:
+    def test_sorted_zero(self):
+        assert rem(np.arange(100)) == 0
+
+    def test_reverse_n_minus_one(self):
+        assert rem(np.arange(50)[::-1].copy()) == 49
+
+    def test_one_outlier(self):
+        a = np.array([1, 2, 3, 0, 4, 5])
+        assert rem(a) == 1
+
+    def test_nondecreasing_duplicates_kept(self):
+        assert rem(np.array([1, 1, 2, 2])) == 0
+
+
+class TestRunStructure:
+    def test_monotone_inputs_zero(self):
+        assert run_structure(np.arange(1000)) == 0.0
+        assert run_structure(np.arange(1000)[::-1].copy()) == 0.0
+
+    def test_random_near_one(self):
+        a = generate(5000, "random", seed=3)
+        assert run_structure(a) > 0.7
+
+    def test_nearly_sorted_low(self):
+        a = generate(5000, "nearly-sorted", seed=4)
+        assert run_structure(a) < 0.2
+
+
+class TestOrderFactor:
+    def test_extremes_match_calibration(self):
+        cost = SortCostModel()
+        sorted_f = estimate_order_factor(np.arange(5000), cost)
+        reverse_f = estimate_order_factor(
+            np.arange(5000)[::-1].copy(), cost
+        )
+        random_f = estimate_order_factor(generate(5000, "random"), cost)
+        assert sorted_f == pytest.approx(cost.reverse_factor_mlm)
+        assert reverse_f == pytest.approx(cost.reverse_factor_mlm)
+        assert random_f > 0.85
+
+    def test_gnu_floor_differs(self):
+        cost = SortCostModel()
+        rev = np.arange(1000)[::-1].copy()
+        assert estimate_order_factor(rev, cost, gnu=True) == pytest.approx(
+            cost.reverse_factor_gnu
+        )
+
+    def test_monotone_in_structure(self):
+        cost = SortCostModel()
+        nearly = generate(5000, "nearly-sorted", seed=1)
+        random = generate(5000, "random", seed=1)
+        assert estimate_order_factor(nearly, cost) < estimate_order_factor(
+            random, cost
+        )
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "order,expected",
+        [
+            ("sorted", "sorted"),
+            ("reverse", "reverse"),
+            ("random", "random"),
+            ("nearly-sorted", "nearly-sorted"),
+        ],
+    )
+    def test_generator_orders_roundtrip(self, order, expected):
+        a = generate(3000, order, seed=5)
+        assert classify_order(a) == expected
+
+    def test_tiny_inputs_sorted(self):
+        assert classify_order(np.array([1])) == "sorted"
+        assert classify_order(np.array([], dtype=np.int64)) == "sorted"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arr=arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=2, max_value=150),
+        elements=st.integers(min_value=-100, max_value=100),
+    )
+)
+def test_inversion_invariants(arr):
+    inv = count_inversions(arr)
+    n = len(arr)
+    assert 0 <= inv <= n * (n - 1) // 2
+    assert count_inversions(np.sort(arr)) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    arr=arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=0, max_value=150),
+        elements=st.integers(min_value=-100, max_value=100),
+    )
+)
+def test_runs_and_rem_bounds(arr):
+    n = len(arr)
+    assert 0 <= count_ascending_runs(arr) <= max(n, 0)
+    assert count_monotone_runs(arr) <= count_ascending_runs(arr) or n < 2
+    assert 0 <= rem(arr) <= max(0, n - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arr=arrays(
+        dtype=np.int64,
+        shape=st.integers(min_value=2, max_value=200),
+        elements=st.integers(min_value=-50, max_value=50),
+    )
+)
+def test_order_factor_in_valid_range(arr):
+    cost = SortCostModel()
+    f = estimate_order_factor(arr, cost)
+    assert cost.reverse_factor_mlm <= f <= 1.0
