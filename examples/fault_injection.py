@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Fault injection and graceful degradation on the simulated KNL.
+
+Three demonstrations:
+
+1. *Correctness under faults*: MLM-sort a real array through the
+   resilient pipeline while a seeded fault plan fails HBW allocations
+   and degrades MCDRAM bandwidth — the result is still sorted and a
+   permutation of the input, with every recovery event counted.
+2. *Replay determinism*: the same fault plan with the same seed
+   produces bit-identical simulated times and fault logs.
+3. *Graceful vs. cliff*: sweep fault intensity at paper scale and
+   compare the chunked resilient MLM-sort against a monolithic
+   GNU-cache sort on the same degraded node.
+
+Run: ``python examples/fault_injection.py [intensity]``
+"""
+
+import sys
+import warnings
+
+import numpy as np
+
+from repro.algorithms.mlm_sort import (
+    MLMSortConfig,
+    resilient_mlm_sort,
+    resilient_mlm_sort_plan_run,
+)
+from repro.core.modes import UsageMode
+from repro.errors import DegradedModeWarning
+from repro.faults import FaultPlan
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+
+
+def flat_node() -> KNLNode:
+    return KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+
+
+def functional_demo(intensity: float) -> None:
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, 10**9, size=100_000).astype(np.int64)
+    inj = FaultPlan.degraded_mcdram(seed=42, intensity=intensity).injector()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedModeWarning)
+        out = resilient_mlm_sort(
+            a, megachunk_elements=10_000, threads=4, injector=inj
+        )
+    ok = np.array_equal(out, np.sort(a, kind="stable"))
+    print(f"functional MLM-sort of {len(a):,} int64 under intensity "
+          f"{intensity}: sorted={ok}")
+    counters = {k: v for k, v in inj.counters.as_dict().items() if v}
+    print(f"  fault counters: {counters}")
+    print(f"  recovery events: {inj.counters.recovery_events}\n")
+
+
+def timed_run(intensity: float, seed: int = 42):
+    cfg = MLMSortConfig(
+        n=2_000_000_000, megachunk_elements=250_000_000, mode=UsageMode.FLAT
+    )
+    inj = FaultPlan.degraded_mcdram(seed=seed, intensity=intensity).injector()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedModeWarning)
+        return resilient_mlm_sort_plan_run(flat_node(), cfg, injector=inj)
+
+
+def replay_demo(intensity: float) -> None:
+    r1, r2 = timed_run(intensity), timed_run(intensity)
+    same = (
+        r1.elapsed == r2.elapsed
+        and r1.fault_log == r2.fault_log
+        and [c.elapsed for c in r1.chunks] == [c.elapsed for c in r2.chunks]
+    )
+    print(f"replay with same seed: identical times and fault log = {same}")
+    for line in r1.fault_log[:4]:
+        print(f"  {line}")
+    if len(r1.fault_log) > 4:
+        print(f"  ... ({len(r1.fault_log)} log lines total)")
+    print()
+
+
+def degradation_report(intensity: float) -> None:
+    clean = timed_run(0.0)
+    faulted = timed_run(intensity)
+    slowdown = faulted.elapsed / clean.elapsed
+    print("timed MLM-sort, 2B int64 (16 GB > MCDRAM):")
+    print(f"  clean run        {clean.elapsed:8.2f} s")
+    print(f"  intensity {intensity:.2f}   {faulted.elapsed:8.2f} s "
+          f"({slowdown:.2f}x, mode={faulted.mode.name}, "
+          f"degraded={faulted.degraded_mode})")
+    devices = [c.device for c in faulted.chunks]
+    print(f"  chunk devices: {devices}")
+    print(f"  recovery events: {faulted.counters.recovery_events}")
+    print("\nfull intensity sweep: repro-knl faults")
+
+
+def main(intensity: float = 0.5) -> None:
+    functional_demo(intensity)
+    replay_demo(intensity)
+    degradation_report(intensity)
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

@@ -11,7 +11,15 @@ Top-level convenience exports; see the subpackages for the full API:
 * :mod:`repro.experiments` — table/figure drivers.
 """
 
-from repro.core import BufferedPipeline, Chunker, StreamKernel, UsageMode
+from repro.core import (
+    BufferedPipeline,
+    Chunker,
+    ResilienceReport,
+    ResilientPipeline,
+    StreamKernel,
+    UsageMode,
+)
+from repro.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
 from repro.model import ModelParams, optimal_copy_threads, predict
 from repro.simknl import KNLNode, KNLNodeConfig, MemoryMode
 
@@ -20,8 +28,14 @@ __version__ = "1.0.0"
 __all__ = [
     "BufferedPipeline",
     "Chunker",
+    "ResilienceReport",
+    "ResilientPipeline",
     "StreamKernel",
     "UsageMode",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
     "ModelParams",
     "optimal_copy_threads",
     "predict",

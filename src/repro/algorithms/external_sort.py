@@ -17,19 +17,75 @@ run formation + multiway merge against disk. We implement both faces:
 
 from __future__ import annotations
 
+import contextlib
 import heapq
 import math
+import shutil
 import tempfile
+import time
 from pathlib import Path
+from typing import Callable, TypeVar
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import (
+    ConfigError,
+    RetryExhaustedError,
+    TransientFaultError,
+)
+from repro.faults import FaultInjector
 from repro.simknl.devices import MemoryDevice
 from repro.simknl.engine import Engine, Phase, Plan, RunResult
 from repro.simknl.flows import Flow
 from repro.simknl.node import KNLNode
 from repro.units import GB, GiB, INT64
+
+_T = TypeVar("_T")
+
+#: Default bound on per-operation spill I/O retries.
+MAX_IO_RETRIES = 4
+
+
+def _retry_io(
+    op: str,
+    fn: Callable[[], _T],
+    injector: FaultInjector | None,
+    max_retries: int = MAX_IO_RETRIES,
+    backoff_s: float = 0.0,
+) -> _T:
+    """Run a spill-file operation with bounded retry + exponential backoff.
+
+    Transient failures — injected :class:`TransientFaultError` or a
+    real :class:`OSError` — are retried up to ``max_retries`` times,
+    doubling the (optional) backoff each attempt. Permanent injected
+    faults propagate immediately: the caller's cleanup then removes
+    any partial spill files.
+
+    Raises
+    ------
+    RetryExhaustedError
+        After ``max_retries`` failed retries.
+    PermanentFaultError
+        Propagated untouched from the injector.
+    """
+    attempts = 0
+    while True:
+        try:
+            if injector is not None:
+                injector.check_spill_io(op)
+            return fn()
+        except (TransientFaultError, OSError) as exc:
+            attempts += 1
+            if attempts > max_retries:
+                raise RetryExhaustedError(
+                    f"spill {op} failed after {attempts} attempts: {exc}",
+                    attempts=attempts,
+                ) from exc
+            if injector is not None:
+                injector.counters.io_retries += 1
+            delay = backoff_s * (2 ** (attempts - 1))
+            if delay > 0:
+                time.sleep(delay)
 
 
 def disk_device(
@@ -53,25 +109,50 @@ def disk_device(
 
 
 def _write_runs(
-    arr: np.ndarray, budget: int, tmpdir: Path
+    arr: np.ndarray,
+    budget: int,
+    tmpdir: Path,
+    injector: FaultInjector | None = None,
+    max_retries: int = MAX_IO_RETRIES,
+    backoff_s: float = 0.0,
 ) -> list[Path]:
     """Phase 1: sort budget-sized runs and spill them to disk."""
     paths = []
     for i, start in enumerate(range(0, len(arr), budget)):
         run = np.sort(arr[start : start + budget], kind="stable")
         path = tmpdir / f"run{i:05d}.npy"
-        np.save(path, run)
+        _retry_io(
+            f"write run {i}",
+            lambda: np.save(path, run),
+            injector,
+            max_retries,
+            backoff_s,
+        )
         paths.append(path)
     return paths
 
 
 def _merge_runs(
-    paths: list[Path], budget: int, dtype: np.dtype
+    paths: list[Path],
+    budget: int,
+    dtype: np.dtype,
+    injector: FaultInjector | None = None,
+    max_retries: int = MAX_IO_RETRIES,
+    backoff_s: float = 0.0,
 ) -> np.ndarray:
     """Phase 2: k-way merge the runs reading bounded blocks."""
     k = len(paths)
     block = max(1, budget // (k + 1))
-    readers = [np.load(p, mmap_mode="r") for p in paths]
+    readers = [
+        _retry_io(
+            f"open run {i}",
+            lambda p=p: np.load(p, mmap_mode="r"),
+            injector,
+            max_retries,
+            backoff_s,
+        )
+        for i, p in enumerate(paths)
+    ]
     positions = [0] * k
     buffers: list[np.ndarray] = [r[:block].copy() for r in readers]
     offsets = [0] * k
@@ -87,8 +168,15 @@ def _merge_runs(
         offsets[i] += 1
         if offsets[i] >= len(buffers[i]):
             positions[i] += len(buffers[i])
-            nxt = readers[i][positions[i] : positions[i] + block]
-            buffers[i] = np.asarray(nxt).copy()
+            buffers[i] = _retry_io(
+                f"read run {i}",
+                lambda i=i: np.asarray(
+                    readers[i][positions[i] : positions[i] + block]
+                ).copy(),
+                injector,
+                max_retries,
+                backoff_s,
+            )
             offsets[i] = 0
         if offsets[i] < len(buffers[i]):
             heapq.heappush(heap, (buffers[i][offsets[i]].item(), i))
@@ -96,7 +184,12 @@ def _merge_runs(
 
 
 def external_sort(
-    arr: np.ndarray, memory_budget_elements: int, workdir: str | None = None
+    arr: np.ndarray,
+    memory_budget_elements: int,
+    workdir: str | None = None,
+    injector: FaultInjector | None = None,
+    max_io_retries: int = MAX_IO_RETRIES,
+    io_backoff_s: float = 0.0,
 ) -> np.ndarray:
     """Out-of-core mergesort with a hard in-memory element budget.
 
@@ -109,6 +202,18 @@ def external_sort(
         Elements allowed resident during each phase.
     workdir:
         Directory for spill files; a temporary directory by default.
+    injector:
+        Optional fault injector. Transient spill-I/O faults are
+        retried up to ``max_io_retries`` times with exponential
+        backoff; a permanent fault (or retry exhaustion) aborts the
+        sort cleanly — the spill directory is removed either way, so
+        no orphaned run files survive an exception.
+    max_io_retries:
+        Retry bound per spill operation.
+    io_backoff_s:
+        Initial backoff delay in (real) seconds; doubles per retry.
+        Zero (default) retries immediately — simulated-time callers
+        should not sleep.
     """
     if arr.ndim != 1:
         raise ConfigError("expects a one-dimensional array")
@@ -118,10 +223,20 @@ def external_sort(
         return arr.copy()
     if len(arr) <= memory_budget_elements:
         return np.sort(arr, kind="stable")
-    with tempfile.TemporaryDirectory(dir=workdir) as tmp:
+    with contextlib.ExitStack() as stack:
+        tmp = tempfile.mkdtemp(prefix="extsort-", dir=workdir)
+        # Registered before any run file exists: every exit path —
+        # including mid-merge faults — removes the whole spill tree.
+        stack.callback(shutil.rmtree, tmp, ignore_errors=True)
         tmpdir = Path(tmp)
-        paths = _write_runs(arr, memory_budget_elements, tmpdir)
-        return _merge_runs(paths, memory_budget_elements, arr.dtype)
+        paths = _write_runs(
+            arr, memory_budget_elements, tmpdir,
+            injector, max_io_retries, io_backoff_s,
+        )
+        return _merge_runs(
+            paths, memory_budget_elements, arr.dtype,
+            injector, max_io_retries, io_backoff_s,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -195,9 +310,15 @@ def run_external_sort_plan(
     n: int,
     memory_budget_bytes: float,
     disk_bandwidth: float = 2 * GB,
+    injector: FaultInjector | None = None,
     **kwargs,
 ) -> RunResult:
-    """Execute the timed plan with a disk attached to the node."""
+    """Execute the timed plan with a disk attached to the node.
+
+    An injector's bandwidth-degradation faults may target ``"disk"``
+    as well as the node devices — a degraded spill device slows the
+    merge passes exactly as a contended NVMe would.
+    """
     plan = external_sort_plan(node, n, memory_budget_bytes, **kwargs)
     resources = [*node.resources(), disk_device(bandwidth=disk_bandwidth).resource()]
-    return Engine(resources, record_events=False).run(plan)
+    return Engine(resources, record_events=False, injector=injector).run(plan)

@@ -36,9 +36,11 @@ from repro.algorithms.serial_sort import serial_sort
 from repro.core.chunking import Chunker
 from repro.core.kernel import Kernel
 from repro.core.modes import UsageMode, validate_node_mode
+from repro.core.resilient import ResilienceReport, ResilientPipeline
+from repro.faults import FaultInjector
 from repro.simknl.engine import Phase, Plan
 from repro.simknl.flows import Flow
-from repro.simknl.node import KNLNode
+from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 from repro.threads.pool import PoolSet
 from repro.units import INT64
 
@@ -46,6 +48,14 @@ from repro.units import INT64
 # ---------------------------------------------------------------------------
 # Functional implementations
 # ---------------------------------------------------------------------------
+
+
+def _sort_megachunk(mega: np.ndarray, threads: int) -> np.ndarray:
+    """Sort one megachunk: per-thread serial sorts + multiway merge."""
+    k = min(threads, len(mega))
+    bounds = [len(mega) * t // k for t in range(k + 1)]
+    runs = [serial_sort(mega[bounds[t] : bounds[t + 1]]) for t in range(k)]
+    return multiway_merge(runs)
 
 
 def mlm_sort(
@@ -74,15 +84,128 @@ def mlm_sort(
     chunker = Chunker.from_elements(
         n, min(megachunk_elements, n), element_size=arr.itemsize
     )
-    megachunks = []
-    for mega in chunker.split_array(arr):
-        k = min(threads, len(mega))
-        bounds = [len(mega) * t // k for t in range(k + 1)]
-        runs = [
-            serial_sort(mega[bounds[t] : bounds[t + 1]]) for t in range(k)
-        ]
-        megachunks.append(multiway_merge(runs))
+    megachunks = [
+        _sort_megachunk(mega, threads) for mega in chunker.split_array(arr)
+    ]
     return multiway_merge(megachunks)
+
+
+class MegachunkSortKernel(Kernel):
+    """Compute kernel of MLM-sort's megachunk stage: per-thread serial
+    sorts followed by the in-megachunk multiway merge."""
+
+    name = "mlm-megachunk-sort"
+
+    def __init__(
+        self,
+        threads: int,
+        cost: SortCostModel | None = None,
+        order: str = "random",
+        element_size: int = INT64,
+    ) -> None:
+        if threads < 1:
+            raise ConfigError("threads must be >= 1")
+        self.threads = threads
+        self.cost = cost or SortCostModel()
+        self.order = order
+        self.element_size = element_size
+
+    def passes(self, chunk_bytes: float) -> float:
+        m = max(1.0, chunk_bytes / self.element_size / self.threads)
+        # Serial-sort levels plus the megachunk merge pass; halved to
+        # match the kernel convention (logical bytes carry the 2x).
+        return (
+            sort_levels(m, self.cost, order=self.order, gnu=False) + 1.0
+        ) / 2.0
+
+    def apply(self, chunk: np.ndarray) -> np.ndarray:
+        return _sort_megachunk(chunk, self.threads)
+
+
+def resilient_mlm_sort(
+    arr: np.ndarray,
+    megachunk_elements: int,
+    threads: int = 4,
+    node: KNLNode | None = None,
+    injector: FaultInjector | None = None,
+    max_chunk_retries: int = 2,
+) -> np.ndarray:
+    """Fault-tolerant functional MLM-sort.
+
+    Each megachunk's buffer is allocated through the fault-aware
+    memkind heap (an injected MCDRAM allocation failure lands it in
+    DDR and is counted, not raised) and transient chunk faults are
+    retried up to ``max_chunk_retries`` times — so under any fault
+    plan that is not permanently fatal the output is still the exact
+    sorted permutation of the input.
+
+    Raises
+    ------
+    RetryExhaustedError
+        When a chunk keeps faulting past the retry budget.
+    """
+    if arr.ndim != 1:
+        raise ConfigError("expects a one-dimensional array")
+    if megachunk_elements < 1:
+        raise ConfigError("megachunk_elements must be >= 1")
+    if len(arr) == 0:
+        return arr.copy()
+    if node is None:
+        node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    chunker = Chunker.from_elements(
+        len(arr), min(megachunk_elements, len(arr)), element_size=arr.itemsize
+    )
+    mode = UsageMode.FLAT if node.mode is MemoryMode.FLAT else UsageMode.DDR
+    pipe = ResilientPipeline(
+        node,
+        mode,
+        chunker,
+        MegachunkSortKernel(threads, element_size=arr.itemsize),
+        injector=injector,
+        max_chunk_retries=max_chunk_retries,
+    )
+    return multiway_merge(pipe.run_functional(arr))
+
+
+def resilient_mlm_sort_plan_run(
+    node: KNLNode,
+    config: MLMSortConfig,
+    injector: FaultInjector | None = None,
+    cost: SortCostModel | None = None,
+    max_chunk_retries: int = 2,
+) -> ResilienceReport:
+    """Timed MLM-sort through the resilient pipeline.
+
+    The chunk-at-a-time counterpart of :func:`mlm_sort_plan`: each
+    megachunk runs as its own sub-plan with retry/straggler recovery,
+    DDR fallback for faulted buffer allocations, and a permanent
+    FLAT -> DDR downgrade when MCDRAM degrades below DDR bandwidth.
+    """
+    cfg = config
+    validate_node_mode(node, cfg.mode)
+    cost = cost or SortCostModel()
+    chunker = Chunker.from_elements(
+        cfg.n, min(cfg.megachunk_elements, cfg.n), element_size=cfg.element_size
+    )
+    if cfg.mode in (UsageMode.FLAT, UsageMode.HYBRID):
+        copy = max(1, min(8, cfg.threads // 8))
+        pools = PoolSet.split(
+            node, compute=cfg.threads - 2 * copy, copy_in=copy
+        )
+    else:
+        pools = PoolSet.compute_only(node, cfg.threads)
+    pipe = ResilientPipeline(
+        node,
+        cfg.mode,
+        chunker,
+        MegachunkSortKernel(
+            cfg.threads, cost, order=cfg.order, element_size=cfg.element_size
+        ),
+        pools=pools,
+        injector=injector,
+        max_chunk_retries=max_chunk_retries,
+    )
+    return pipe.run()
 
 
 def basic_chunked_sort(

@@ -23,6 +23,7 @@ _SERIES = {
     "nvm": ("strategy", ["seconds"]),
     "hybrid": ("config", ["seconds"]),
     "energy": ("algorithm", ["energy_j"]),
+    "faults": ("intensity", ["resilient_s", "monolithic_s"]),
 }
 
 

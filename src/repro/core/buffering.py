@@ -16,7 +16,7 @@ surface as allocation failures rather than silent fictions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CapacityError, AllocationError
 from repro.core.chunking import Chunker

@@ -22,7 +22,7 @@ from repro.core.chunking import Chunker
 from repro.core.kernel import Kernel
 from repro.model.params import ModelParams
 from repro.simknl.engine import Engine, Phase, Plan, RunResult
-from repro.simknl.flows import Flow, Resource
+from repro.simknl.flows import Flow
 from repro.simknl.node import KNLNode, MemoryMode
 from repro.simknl.nvm import nvm_device
 from repro.units import GiB

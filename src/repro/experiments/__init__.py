@@ -31,6 +31,7 @@ from repro.experiments.extensions import (
     run_designspace,
     run_energy,
     run_external,
+    run_faults,
     run_hybrid,
     run_pollution,
     run_nvm,
@@ -59,6 +60,7 @@ EXTENSION_EXPERIMENTS = {
     "external": run_external,
     "pollution": run_pollution,
     "adaptive": run_adaptive,
+    "faults": run_faults,
 }
 
 ALL_EXPERIMENTS = {**PAPER_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -80,6 +82,7 @@ __all__ = [
     "run_oblivious",
     "run_energy",
     "run_external",
+    "run_faults",
     "run_pollution",
     "run_adaptive",
     "PAPER_EXPERIMENTS",

@@ -14,10 +14,15 @@ DESIGN.md calls out:
 * ``oblivious``  — cache-oblivious mergesort vs the cache-aware MLM
   variants (Section 2.1's conjecture);
 * ``energy``     — energy and energy-delay comparison of the Table 1
-  variants (the introduction's energy motivation).
+  variants (the introduction's energy motivation);
+* ``faults``     — graceful degradation under injected MCDRAM faults:
+  chunked MLM-sort through the resilient pipeline vs the monolithic
+  GNU-cache baseline.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
@@ -505,6 +510,99 @@ def run_adaptive(
             "Section 2.1: cache-adaptive algorithms 'tolerate changes to "
             "system resources during the run'; the d&c kernel's shrinking "
             "active sets give it that tolerance for free",
+        ],
+    )
+
+
+def run_faults(
+    n: int = 2_000_000_000,
+    megachunk: int = 250_000_000,
+    seed: int = 42,
+    intensities: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.9),
+) -> ExperimentResult:
+    """Degradation report: resilient chunked MLM-sort vs monolithic GNU.
+
+    At each fault intensity the same :class:`~repro.faults.FaultPlan`
+    (seeded, so replays are identical) degrades MCDRAM bandwidth,
+    fails MCDRAM allocations, and perturbs spill I/O. The chunked
+    MLM-sort runs through the resilient pipeline — faulted buffers
+    fall back to DDR, and when degraded MCDRAM drops below DDR
+    bandwidth the remaining chunks downgrade to the MLM-ddr path — so
+    its time is capped near the DDR-only figure. The monolithic
+    GNU-cache baseline has no such escape: every byte keeps streaming
+    through the degraded cache, and its time falls off a cliff.
+    """
+    from repro.algorithms.mlm_sort import (
+        MLMSortConfig,
+        resilient_mlm_sort_plan_run,
+    )
+    from repro.algorithms.parallel_sort import gnu_sort_plan
+    from repro.errors import DegradedModeWarning
+    from repro.faults import FaultPlan
+
+    rows = []
+    base_resilient = base_gnu = None
+    for intensity in intensities:
+        cfg = MLMSortConfig(
+            n=n,
+            megachunk_elements=megachunk,
+            mode=UsageMode.FLAT,
+            threads=256,
+        )
+        flat_node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+        plan = FaultPlan.degraded_mcdram(seed=seed, intensity=intensity)
+        inj = plan.injector()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedModeWarning)
+            rep = resilient_mlm_sort_plan_run(flat_node, cfg, injector=inj)
+
+        cache_node = KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
+        gnu_plan = gnu_sort_plan(cache_node, n, "random", UsageMode.CACHE)
+        gnu = cache_node.run(
+            gnu_plan,
+            injector=FaultPlan.degraded_mcdram(
+                seed=seed, intensity=intensity
+            ).injector(),
+        )
+        if intensity == 0.0:
+            base_resilient, base_gnu = rep.elapsed, gnu.elapsed
+        rows.append(
+            {
+                "intensity": intensity,
+                "resilient_s": rep.elapsed,
+                "monolithic_s": gnu.elapsed,
+                "resilient_slowdown": (
+                    rep.elapsed / base_resilient if base_resilient else 1.0
+                ),
+                "monolithic_slowdown": (
+                    gnu.elapsed / base_gnu if base_gnu else 1.0
+                ),
+                "recovery_events": inj.counters.recovery_events,
+                "degraded_to_ddr": rep.degraded_mode,
+            }
+        )
+    return ExperimentResult(
+        experiment="faults",
+        title="Extension: graceful degradation under injected MCDRAM faults",
+        columns=[
+            "intensity",
+            "resilient_s",
+            "monolithic_s",
+            "resilient_slowdown",
+            "monolithic_slowdown",
+            "recovery_events",
+            "degraded_to_ddr",
+        ],
+        rows=rows,
+        notes=[
+            "fault plan per intensity i: MCDRAM bandwidth -i from phase 0, "
+            "MCDRAM allocation-failure probability i, spill-I/O fault "
+            f"probability 0.2*i (seed={seed}; replays are identical)",
+            "the resilient chunked sort degrades gracefully — faulted "
+            "buffers fall back to DDR and, once degraded MCDRAM is slower "
+            "than DDR, remaining chunks downgrade to the MLM-ddr path — "
+            "while the monolithic GNU-cache baseline keeps streaming "
+            "through the degraded cache and falls off a cliff",
         ],
     )
 

@@ -1,0 +1,409 @@
+"""Deterministic, seedable fault injection for the simulated KNL stack.
+
+The paper's robustness story — chunked/buffered algorithms keep working
+when MCDRAM is effectively unavailable or contended — is only testable
+if the stack can *lose* resources mid-run. This module provides the
+fault model every layer hooks into:
+
+* :class:`FaultSpec` / :class:`FaultPlan` — a declarative, seeded
+  description of what goes wrong: schedule-driven (``at_phase``) or
+  probability-driven (``probability`` per draw), with an optional
+  recovery horizon (``duration_phases``);
+* :class:`FaultInjector` — the runtime object threaded through the
+  engine (:meth:`phase_events`), the memkind heap
+  (:meth:`should_fail_alloc`), the spill-file writer
+  (:meth:`check_spill_io`), the thread pools (:meth:`lost_workers`)
+  and the resilient pipeline (:meth:`check_chunk`). All randomness
+  comes from per-spec ``random.Random`` streams seeded from the plan
+  seed, so the same plan replayed with the same seed produces the
+  *identical* fault schedule — and therefore identical simulated
+  times;
+* :class:`FaultCounters` — the ledger of injected faults and the
+  graceful-degradation events they triggered (DDR fallbacks, retries,
+  re-splits), reported by the ``faults`` experiment driver.
+
+Degradation semantics live in the hooked layers, not here: the engine
+re-solves its max-min bandwidth allocation after a degradation event,
+the heap spills HBW allocations to DDR instead of raising, the pools
+re-split after worker loss, and :class:`repro.core.ResilientPipeline`
+retries failed chunks and downgrades FLAT plans to the DDR path.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, fields, replace
+
+from repro.errors import (
+    ConfigError,
+    PermanentFaultError,
+    TransientFaultError,
+)
+
+
+class FaultKind(enum.Enum):
+    """Categories of injectable faults."""
+
+    #: Scale a device/resource bandwidth down by ``severity``.
+    BANDWIDTH_DEGRADE = "bandwidth-degrade"
+    #: Remove ``severity`` fraction of a device's capacity.
+    CAPACITY_LOSS = "capacity-loss"
+    #: Fail heap allocations on the target device.
+    ALLOC_FAIL = "alloc-fail"
+    #: Stall a phase for ``severity`` simulated seconds.
+    FLOW_STALL = "flow-stall"
+    #: Fail a spill-file read/write (transient unless ``permanent``).
+    SPILL_IO_FAIL = "spill-io-fail"
+    #: Lose ``severity`` fraction of a thread pool's workers.
+    WORKER_LOSS = "worker-loss"
+    #: Fail one chunk's processing (transient; retried by the pipeline).
+    CHUNK_FAIL = "chunk-fail"
+
+
+#: Kinds the engine consumes at phase boundaries.
+PHASE_KINDS = (
+    FaultKind.BANDWIDTH_DEGRADE,
+    FaultKind.CAPACITY_LOSS,
+    FaultKind.FLOW_STALL,
+    FaultKind.WORKER_LOSS,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault source.
+
+    Parameters
+    ----------
+    kind:
+        What kind of fault to inject.
+    target:
+        Device/resource/pool name the fault applies to (``None``: any).
+    severity:
+        Kind-specific magnitude in ``[0, 1]`` for fractional kinds
+        (bandwidth/capacity/worker loss) or seconds for
+        :attr:`FaultKind.FLOW_STALL`.
+    probability:
+        Per-draw firing probability; ``0`` makes the spec purely
+        schedule-driven.
+    at_phase:
+        Phase index at which the fault fires unconditionally.
+    duration_phases:
+        Phases after which a degradation is restored (``None``: lasts
+        for the remainder of the run).
+    permanent:
+        For :attr:`FaultKind.SPILL_IO_FAIL`: raise
+        :class:`~repro.errors.PermanentFaultError` instead of the
+        retryable :class:`~repro.errors.TransientFaultError`.
+    """
+
+    kind: FaultKind
+    target: str | None = None
+    severity: float = 0.5
+    probability: float = 0.0
+    at_phase: int | None = None
+    duration_phases: int | None = None
+    permanent: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigError("probability must be in [0, 1]")
+        if self.severity < 0:
+            raise ConfigError("severity must be non-negative")
+        if self.kind in (
+            FaultKind.BANDWIDTH_DEGRADE,
+            FaultKind.CAPACITY_LOSS,
+            FaultKind.WORKER_LOSS,
+        ) and self.severity > 1.0:
+            raise ConfigError(
+                f"{self.kind.value}: severity is a fraction in [0, 1]"
+            )
+        if self.at_phase is not None and self.at_phase < 0:
+            raise ConfigError("at_phase must be non-negative")
+        if self.duration_phases is not None and self.duration_phases < 1:
+            raise ConfigError("duration_phases must be >= 1")
+        if self.probability == 0.0 and self.at_phase is None:
+            raise ConfigError(
+                "spec needs a probability or an at_phase to ever fire"
+            )
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """A concrete fault occurrence produced by the injector."""
+
+    kind: FaultKind
+    target: str | None
+    severity: float
+    phase_index: int
+    duration_phases: int | None = None
+
+    def describe(self) -> str:
+        """One-line trace label, e.g. ``fault: mcdram bandwidth -50%``."""
+        tgt = self.target or "*"
+        if self.kind is FaultKind.FLOW_STALL:
+            detail = f"+{self.severity:g}s stall"
+        else:
+            detail = f"-{self.severity:.0%}"
+        return f"fault: {tgt} {self.kind.value} {detail}"
+
+
+@dataclass
+class FaultCounters:
+    """Ledger of injected faults and degradation/recovery events."""
+
+    injected: int = 0
+    alloc_faults: int = 0
+    alloc_fallbacks: int = 0
+    io_faults: int = 0
+    io_retries: int = 0
+    chunk_faults: int = 0
+    chunk_retries: int = 0
+    stragglers: int = 0
+    degradations: int = 0
+    restores: int = 0
+    stall_seconds: float = 0.0
+    worker_losses: int = 0
+    mode_degradations: int = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """All counters as a plain dict (for reports/CSV)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def recovery_events(self) -> int:
+        """Total graceful-degradation actions taken in response to
+        faults (the acceptance-criteria 'fallback/retry events')."""
+        return (
+            self.alloc_fallbacks
+            + self.io_retries
+            + self.chunk_retries
+            + self.worker_losses
+            + self.mode_degradations
+        )
+
+
+class FaultPlan:
+    """A seeded, declarative collection of fault specs.
+
+    The plan is immutable input; all mutable state (RNG streams,
+    counters) lives in the :class:`FaultInjector` built from it, so one
+    plan can be replayed any number of times with identical results.
+    """
+
+    def __init__(self, seed: int = 0, specs: list[FaultSpec] | None = None) -> None:
+        self.seed = int(seed)
+        self.specs: list[FaultSpec] = list(specs or [])
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append a spec and return self (chainable)."""
+        self.specs.append(spec)
+        return self
+
+    def injector(self) -> "FaultInjector":
+        """A fresh injector (fresh RNG streams + zeroed counters)."""
+        return FaultInjector(self)
+
+    def scaled(self, factor: float) -> "FaultPlan":
+        """A copy with every probability scaled by ``factor`` (clamped
+        to 1); used by intensity sweeps."""
+        if factor < 0:
+            raise ConfigError("factor must be non-negative")
+        return FaultPlan(
+            self.seed,
+            [
+                replace(s, probability=min(1.0, s.probability * factor))
+                for s in self.specs
+            ],
+        )
+
+    # ---- presets --------------------------------------------------------
+
+    @classmethod
+    def degraded_mcdram(
+        cls,
+        seed: int = 0,
+        intensity: float = 0.5,
+        at_phase: int = 0,
+    ) -> "FaultPlan":
+        """The acceptance-criteria scenario: MCDRAM loses ``intensity``
+        of its bandwidth at ``at_phase`` and HBW allocations fail with
+        probability ``intensity``; spill I/O hiccups ride along."""
+        if not 0.0 <= intensity <= 1.0:
+            raise ConfigError("intensity must be in [0, 1]")
+        plan = cls(seed)
+        if intensity > 0:
+            plan.add(
+                FaultSpec(
+                    FaultKind.BANDWIDTH_DEGRADE,
+                    target="mcdram",
+                    severity=intensity,
+                    at_phase=at_phase,
+                )
+            )
+            plan.add(
+                FaultSpec(
+                    FaultKind.ALLOC_FAIL,
+                    target="mcdram",
+                    probability=intensity,
+                )
+            )
+            plan.add(
+                FaultSpec(
+                    FaultKind.SPILL_IO_FAIL,
+                    probability=min(1.0, 0.2 * intensity),
+                )
+            )
+        return plan
+
+
+class FaultInjector:
+    """Runtime fault source threaded through the stack.
+
+    Each spec gets its own ``random.Random`` stream seeded from
+    ``(plan.seed, spec index, spec kind)``, so draws made by one hook
+    point (e.g. allocation checks) never perturb another's schedule —
+    the determinism the replay tests rely on.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.counters = FaultCounters()
+        self.events: list[FaultEvent] = []
+        self._rngs: list[random.Random] = [
+            random.Random(f"{plan.seed}:{i}:{spec.kind.value}")
+            for i, spec in enumerate(plan.specs)
+        ]
+
+    # ---- internal helpers ----------------------------------------------
+
+    def _specs(self, kind: FaultKind, target: str | None = None):
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind is not kind:
+                continue
+            if target is not None and spec.target not in (None, target):
+                continue
+            yield i, spec
+
+    def _fires(self, index: int, spec: FaultSpec, phase_index: int | None) -> bool:
+        if spec.at_phase is not None and phase_index is not None:
+            if spec.at_phase == phase_index:
+                return True
+        if spec.probability > 0.0:
+            return self._rngs[index].random() < spec.probability
+        return False
+
+    def _record(self, event: FaultEvent) -> FaultEvent:
+        self.counters.injected += 1
+        self.events.append(event)
+        return event
+
+    # ---- hook points ----------------------------------------------------
+
+    def phase_events(
+        self, phase_index: int, kinds: tuple[FaultKind, ...] = PHASE_KINDS
+    ) -> list[FaultEvent]:
+        """Faults firing at the start of phase ``phase_index``.
+
+        Consumed by :class:`repro.simknl.engine.Engine`, which applies
+        bandwidth degradations (re-solving its allocation), accumulates
+        stalls, and forwards capacity/worker losses to interested
+        layers via the recorded events.
+        """
+        out = []
+        for i, spec in self._specs_of_kinds(kinds):
+            if self._fires(i, spec, phase_index):
+                out.append(
+                    self._record(
+                        FaultEvent(
+                            kind=spec.kind,
+                            target=spec.target,
+                            severity=spec.severity,
+                            phase_index=phase_index,
+                            duration_phases=spec.duration_phases,
+                        )
+                    )
+                )
+        return out
+
+    def _specs_of_kinds(self, kinds: tuple[FaultKind, ...]):
+        for i, spec in enumerate(self.plan.specs):
+            if spec.kind in kinds:
+                yield i, spec
+
+    def should_fail_alloc(self, device: str) -> bool:
+        """Whether the next heap allocation on ``device`` is failed.
+
+        The heap responds by spilling to the fallback device and
+        bumping :attr:`FaultCounters.alloc_fallbacks` — the
+        ``HBW_PREFERRED`` discipline — rather than raising.
+        """
+        for i, spec in self._specs(FaultKind.ALLOC_FAIL, device):
+            if self._fires(i, spec, None):
+                self.counters.alloc_faults += 1
+                self._record(
+                    FaultEvent(spec.kind, device, spec.severity, -1)
+                )
+                return True
+        return False
+
+    def check_spill_io(self, op: str = "write") -> None:
+        """Raise a fault for the next spill-file operation, if any.
+
+        Raises
+        ------
+        TransientFaultError
+            Retryable I/O hiccup (the caller retries with backoff).
+        PermanentFaultError
+            Unrecoverable device failure (the caller aborts cleanly).
+        """
+        for i, spec in self._specs(FaultKind.SPILL_IO_FAIL):
+            if self._fires(i, spec, None):
+                self.counters.io_faults += 1
+                self._record(FaultEvent(spec.kind, op, spec.severity, -1))
+                if spec.permanent:
+                    raise PermanentFaultError(
+                        f"injected permanent spill-file fault during {op}"
+                    )
+                raise TransientFaultError(
+                    f"injected transient spill-file fault during {op}"
+                )
+
+    def check_chunk(self, chunk_index: int) -> None:
+        """Raise a transient fault for chunk ``chunk_index``, if any.
+
+        Consumed by :class:`repro.core.ResilientPipeline`, which
+        retries the chunk up to its retry budget.
+        """
+        for i, spec in self._specs(FaultKind.CHUNK_FAIL):
+            if self._fires(i, spec, chunk_index):
+                self.counters.chunk_faults += 1
+                self._record(
+                    FaultEvent(spec.kind, f"chunk{chunk_index}",
+                               spec.severity, chunk_index)
+                )
+                raise TransientFaultError(
+                    f"injected transient fault on chunk {chunk_index}"
+                )
+
+    def lost_workers(self, pool_threads: tuple[int, ...]) -> tuple[int, ...]:
+        """Thread ids lost from ``pool_threads`` by WORKER_LOSS specs.
+
+        Deterministic: the victims are sampled from the spec's own RNG
+        stream. The pool layer re-splits the survivors.
+        """
+        lost: list[int] = []
+        for i, spec in self._specs(FaultKind.WORKER_LOSS):
+            if self._fires(i, spec, None):
+                k = int(round(spec.severity * len(pool_threads)))
+                if k > 0:
+                    victims = self._rngs[i].sample(
+                        sorted(pool_threads), min(k, len(pool_threads))
+                    )
+                    lost.extend(victims)
+                    self.counters.worker_losses += 1
+                    self._record(
+                        FaultEvent(spec.kind, None, spec.severity, -1)
+                    )
+        return tuple(sorted(set(lost)))

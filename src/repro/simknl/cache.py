@@ -21,7 +21,7 @@ it via ``tag_overhead``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.units import CACHE_LINE

@@ -15,7 +15,7 @@ cheaper per byte.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.simknl.engine import RunResult

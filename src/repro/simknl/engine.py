@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import Callable, Iterable
 
 from repro.errors import PlanError, SimulationError
+from repro.faults import FaultInjector, FaultKind
 from repro.simknl.flows import Flow, Resource, allocate_rates
 
 _EPS = 1e-12
@@ -106,12 +107,16 @@ class RunResult:
         Per-phase elapsed seconds, in plan order.
     events:
         ``(time, description)`` trace entries (flow completions).
+    faults:
+        Human-readable fault/degradation entries, in occurrence order
+        (empty when no injector is attached).
     """
 
     elapsed: float
     traffic: dict[str, float]
     phase_times: list[float]
     events: list[tuple[float, str]] = field(default_factory=list)
+    faults: list[str] = field(default_factory=list)
 
     def traffic_gb(self, resource: str) -> float:
         """Traffic on ``resource`` in decimal GB."""
@@ -128,19 +133,111 @@ class Engine:
     record_events:
         When True, flow-completion events are recorded in the result
         trace. Disable for large sweeps to save memory.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`. At each phase
+        boundary the engine asks it for fault events and applies the
+        ones it owns: bandwidth degradations scale the named resource
+        (the next water-filling solve then re-shares the remaining
+        bandwidth — the "re-solve on degradation" semantics) and flow
+        stalls extend the phase. Other kinds are logged for the layers
+        that own them (heap, pools, resilient pipeline).
     """
 
     def __init__(
         self,
         resources: Iterable[Resource],
         record_events: bool = True,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.resources: dict[str, Resource] = {}
         for r in resources:
             if r.name in self.resources:
                 raise PlanError(f"duplicate resource {r.name!r}")
             self.resources[r.name] = r
+        self._nominal: dict[str, Resource] = dict(self.resources)
         self.record_events = record_events
+        self.injector = injector
+        self._phase_hooks: list[
+            Callable[["Engine", int, Phase], float | None]
+        ] = []
+        #: Phase offset applied to injector schedules; lets a caller
+        #: running many sub-plans on one engine (the resilient
+        #: pipeline) keep a single global phase clock.
+        self.phase_offset = 0
+
+    def add_phase_hook(
+        self, hook: Callable[["Engine", int, Phase], float | None]
+    ) -> None:
+        """Register a callback invoked before each phase runs.
+
+        The hook receives ``(engine, phase_index, phase)`` and may
+        return extra stall seconds to add to the phase.
+        """
+        self._phase_hooks.append(hook)
+
+    # ---- fault application ----------------------------------------------
+
+    def degrade_resource(self, name: str, fraction: float) -> bool:
+        """Scale resource ``name`` to ``(1 - fraction)`` of nominal.
+
+        Returns False (no-op) when the engine has no such resource, so
+        fault plans may target devices absent from a given run.
+        """
+        if name not in self._nominal:
+            return False
+        if not 0.0 <= fraction <= 1.0:
+            raise PlanError("degrade fraction must be in [0, 1]")
+        nominal = self._nominal[name]
+        capacity = nominal.capacity * max(1.0 - fraction, 1e-9)
+        self.resources[name] = Resource(name, capacity)
+        return True
+
+    def restore_resource(self, name: str) -> None:
+        """Return resource ``name`` to its nominal capacity."""
+        if name in self._nominal:
+            self.resources[name] = self._nominal[name]
+
+    def _apply_phase_faults(
+        self,
+        index: int,
+        phase: Phase,
+        clock: float,
+        faults: list[str],
+        pending_restores: dict[int, list[str]],
+        events: list[tuple[float, str]],
+    ) -> float:
+        """Apply faults due at phase ``index``; returns stall seconds."""
+        stall = 0.0
+        for name in pending_restores.pop(index, []):
+            self.restore_resource(name)
+            if self.injector is not None:
+                self.injector.counters.restores += 1
+            faults.append(f"phase {index}: {name} bandwidth restored")
+        if self.injector is not None:
+            for ev in self.injector.phase_events(index + self.phase_offset):
+                if ev.kind is FaultKind.FLOW_STALL:
+                    stall += ev.severity
+                    self.injector.counters.stall_seconds += ev.severity
+                    faults.append(f"phase {index}: {ev.describe()}")
+                elif ev.kind is FaultKind.BANDWIDTH_DEGRADE:
+                    if self.degrade_resource(ev.target or "", ev.severity):
+                        self.injector.counters.degradations += 1
+                        faults.append(f"phase {index}: {ev.describe()}")
+                        if ev.duration_phases is not None:
+                            pending_restores.setdefault(
+                                index + ev.duration_phases, []
+                            ).append(ev.target or "")
+                else:
+                    # Capacity / worker losses are owned by the heap,
+                    # node, and pool layers; log them for visibility.
+                    faults.append(f"phase {index}: {ev.describe()}")
+        for hook in self._phase_hooks:
+            extra = hook(self, index, phase)
+            if extra:
+                stall += float(extra)
+        if stall > 0 and self.record_events:
+            events.append((clock, f"{phase.name}: stalled {stall:g}s"))
+        return stall
 
     def run(self, plan: Plan) -> RunResult:
         """Execute ``plan`` to completion and return timing/traffic."""
@@ -149,9 +246,14 @@ class Engine:
         traffic: dict[str, float] = {name: 0.0 for name in self.resources}
         phase_times: list[float] = []
         events: list[tuple[float, str]] = []
+        faults: list[str] = []
+        pending_restores: dict[int, list[str]] = {}
 
-        for phase in plan.phases:
-            t = self._run_phase(phase, clock, traffic, events)
+        for index, phase in enumerate(plan.phases):
+            stall = self._apply_phase_faults(
+                index, phase, clock, faults, pending_restores, events
+            )
+            t = self._run_phase(phase, clock + stall, traffic, events) + stall
             phase_times.append(t)
             clock += t
 
@@ -160,6 +262,7 @@ class Engine:
             traffic=traffic,
             phase_times=phase_times,
             events=events,
+            faults=faults,
         )
 
     def _run_phase(

@@ -15,7 +15,7 @@ of over-provisioning copy threads.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import networkx as nx
 

@@ -131,3 +131,122 @@ class TestTimedPlan:
             external_sort_plan(node, 10, -1.0)
         with pytest.raises(ConfigError):
             external_sort_plan(node, 10, GiB, fan_in=1)
+
+
+class TestSpillFaultHandling:
+    def _arr(self, n=4096, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 10**6, size=n).astype(np.int64)
+
+    def test_transient_faults_retried_result_correct(self):
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        a = self._arr()
+        inj = FaultPlan(
+            11, [FaultSpec(FaultKind.SPILL_IO_FAIL, probability=0.3)]
+        ).injector()
+        out = external_sort(
+            a, memory_budget_elements=256, injector=inj, max_io_retries=100
+        )
+        assert np.array_equal(out, np.sort(a, kind="stable"))
+        assert inj.counters.io_faults >= 1
+        assert inj.counters.io_retries == inj.counters.io_faults
+
+    def test_retry_exhaustion_raises(self):
+        from repro.errors import RetryExhaustedError
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        a = self._arr(1024)
+        inj = FaultPlan(
+            0, [FaultSpec(FaultKind.SPILL_IO_FAIL, probability=1.0)]
+        ).injector()
+        with pytest.raises(RetryExhaustedError) as exc:
+            external_sort(
+                a, memory_budget_elements=128, injector=inj, max_io_retries=3
+            )
+        assert exc.value.attempts == 4
+
+    def test_permanent_fault_aborts_immediately(self):
+        from repro.errors import PermanentFaultError
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        a = self._arr(1024)
+        inj = FaultPlan(
+            0,
+            [
+                FaultSpec(
+                    FaultKind.SPILL_IO_FAIL, probability=1.0, permanent=True
+                )
+            ],
+        ).injector()
+        with pytest.raises(PermanentFaultError):
+            external_sort(a, memory_budget_elements=128, injector=inj)
+        # No retries were attempted against a permanent fault.
+        assert inj.counters.io_retries == 0
+
+    def test_failing_merge_leaves_no_orphan_spill_files(self, tmp_path):
+        """Satellite bugfix: spill files are removed on *every* exit
+        path, including a fault mid-merge."""
+        from repro.errors import RetryExhaustedError
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        a = self._arr(2048)
+        inj = FaultPlan(
+            3, [FaultSpec(FaultKind.SPILL_IO_FAIL, probability=0.05)]
+        ).injector()
+        with pytest.raises((RetryExhaustedError,)):
+            # Low per-op probability but zero retry budget: the sort
+            # gets far enough to create runs, then dies mid-stream.
+            external_sort(
+                a,
+                memory_budget_elements=64,
+                workdir=str(tmp_path),
+                injector=inj,
+                max_io_retries=0,
+            )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_clean_run_leaves_no_spill_files(self, tmp_path):
+        a = self._arr(1024)
+        out = external_sort(
+            a, memory_budget_elements=128, workdir=str(tmp_path)
+        )
+        assert np.array_equal(out, np.sort(a, kind="stable"))
+        assert list(tmp_path.iterdir()) == []
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_sorted_permutation_under_seeded_faults(self, seed):
+        """Property: transient spill faults never corrupt the output."""
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        rng = np.random.default_rng(seed)
+        a = rng.integers(-100, 100, size=512).astype(np.int64)
+        inj = FaultPlan(
+            seed, [FaultSpec(FaultKind.SPILL_IO_FAIL, probability=0.2)]
+        ).injector()
+        out = external_sort(
+            a, memory_budget_elements=64, injector=inj, max_io_retries=100
+        )
+        assert np.all(np.diff(out) >= 0)
+        assert np.array_equal(out, np.sort(a, kind="stable"))
+
+    def test_degraded_disk_slows_timed_plan(self):
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+
+        node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+        n = 10**9
+        clean = run_external_sort_plan(node, n, 8 * GiB).elapsed
+        inj = FaultPlan(
+            0,
+            [
+                FaultSpec(
+                    FaultKind.BANDWIDTH_DEGRADE,
+                    "disk",
+                    severity=0.5,
+                    at_phase=0,
+                )
+            ],
+        ).injector()
+        degraded = run_external_sort_plan(node, n, 8 * GiB, injector=inj).elapsed
+        assert degraded > clean

@@ -82,7 +82,6 @@ def test_funnelsort_matches_numpy(arr):
 class TestTimedFunnelsort:
     def test_between_implicit_and_gnu_cache(self):
         from repro.algorithms.funnelsort import funnelsort_plan
-        from repro.core.modes import UsageMode
         from repro.experiments.runner import sort_variant_run
         from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 
@@ -97,7 +96,6 @@ class TestTimedFunnelsort:
         """Fewer cross-block rounds than the plain binary mergesort."""
         from repro.algorithms.funnelsort import funnelsort_plan
         from repro.algorithms.oblivious import oblivious_sort_plan
-        from repro.core.modes import UsageMode
         from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 
         n = 2_000_000_000

@@ -39,10 +39,8 @@ class TestMergeTwo:
 
     def test_duplicates_stable(self):
         """Equal keys from the first array precede the second's."""
-        a = np.array([(1 << 8) | 1, (2 << 8) | 1], dtype=np.int64)
-        b = np.array([(1 << 8) | 2, (2 << 8) | 2], dtype=np.int64)
-        # Compare on the high byte only by pre-masking: simulate
-        # stability by merging tagged equal keys.
+        # Merge equal keys from both inputs: each input's duplicates
+        # appear together in the output.
         keys_a = np.array([1, 2], dtype=np.int64)
         keys_b = np.array([1, 2], dtype=np.int64)
         merged = merge_two(keys_a, keys_b)

@@ -14,7 +14,6 @@ from repro.experiments import (
     run_table2,
     run_table3,
 )
-from repro.experiments.paperdata import TABLE1_SECONDS
 from repro.experiments.runner import (
     VARIANTS,
     node_for_variant,

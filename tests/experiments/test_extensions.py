@@ -188,3 +188,35 @@ class TestAdaptive:
     def test_conservative_tuning_costs_when_stable(self, res):
         t = {r["strategy"]: r["stable_s"] for r in res.rows}
         assert t["aware-half"] > t["aware-full"]
+
+
+class TestFaults:
+    @pytest.fixture(scope="class")
+    def res(self):
+        from repro.experiments.extensions import run_faults
+
+        return run_faults(intensities=(0.0, 0.5, 0.9))
+
+    def test_row_per_intensity(self, res):
+        assert [r["intensity"] for r in res.rows] == [0.0, 0.5, 0.9]
+
+    def test_graceful_vs_cliff(self, res):
+        rows = {r["intensity"]: r for r in res.rows}
+        # The resilient chunked sort stays within a bounded slowdown
+        # while the monolithic baseline keeps getting worse.
+        assert rows[0.9]["resilient_slowdown"] < rows[0.9]["monolithic_slowdown"]
+        assert rows[0.9]["monolithic_s"] > rows[0.5]["monolithic_s"]
+        assert rows[0.9]["degraded_to_ddr"]
+
+    def test_recovery_events_reported(self, res):
+        faulted = [r for r in res.rows if r["intensity"] > 0]
+        assert all(r["recovery_events"] >= 1 for r in faulted)
+        clean = res.rows[0]
+        assert clean["recovery_events"] == 0
+
+    def test_replay_identical(self):
+        from repro.experiments.extensions import run_faults
+
+        a = run_faults(intensities=(0.5,))
+        b = run_faults(intensities=(0.5,))
+        assert a.rows == b.rows

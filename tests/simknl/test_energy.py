@@ -5,11 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigError
-from repro.simknl.energy import (
-    DEFAULT_ENERGY_PER_BYTE,
-    EnergyModel,
-    EnergyReport,
-)
+from repro.simknl.energy import DEFAULT_ENERGY_PER_BYTE, EnergyModel
 from repro.simknl.engine import RunResult
 
 

@@ -1,0 +1,200 @@
+"""Tests for the deterministic fault-injection layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    PermanentFaultError,
+    TransientFaultError,
+)
+from repro.faults import (
+    FaultCounters,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    PHASE_KINDS,
+)
+
+
+class TestFaultSpec:
+    def test_schedule_driven_spec(self):
+        s = FaultSpec(FaultKind.BANDWIDTH_DEGRADE, "mcdram", 0.5, at_phase=3)
+        assert s.at_phase == 3
+        assert s.probability == 0.0
+
+    def test_needs_a_trigger(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.ALLOC_FAIL, "mcdram")
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.ALLOC_FAIL, probability=1.5)
+
+    def test_fractional_kinds_cap_severity(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(
+                FaultKind.BANDWIDTH_DEGRADE, severity=2.0, probability=0.5
+            )
+        # Stall severity is in seconds, so > 1 is fine.
+        FaultSpec(FaultKind.FLOW_STALL, severity=3.5, probability=0.5)
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(FaultKind.FLOW_STALL, probability=0.5, at_phase=-1)
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            FaultSpec(
+                FaultKind.BANDWIDTH_DEGRADE,
+                at_phase=0,
+                duration_phases=0,
+            )
+
+
+class TestFaultPlan:
+    def test_add_chains(self):
+        plan = FaultPlan(seed=1).add(
+            FaultSpec(FaultKind.ALLOC_FAIL, "mcdram", probability=0.5)
+        )
+        assert len(plan.specs) == 1
+
+    def test_scaled_clamps(self):
+        plan = FaultPlan(
+            0, [FaultSpec(FaultKind.ALLOC_FAIL, probability=0.6)]
+        ).scaled(3.0)
+        assert plan.specs[0].probability == 1.0
+
+    def test_degraded_mcdram_preset(self):
+        plan = FaultPlan.degraded_mcdram(seed=7, intensity=0.5)
+        kinds = {s.kind for s in plan.specs}
+        assert FaultKind.BANDWIDTH_DEGRADE in kinds
+        assert FaultKind.ALLOC_FAIL in kinds
+
+    def test_zero_intensity_is_empty(self):
+        assert FaultPlan.degraded_mcdram(intensity=0.0).specs == []
+
+    def test_bad_intensity(self):
+        with pytest.raises(ConfigError):
+            FaultPlan.degraded_mcdram(intensity=1.5)
+
+
+class TestInjectorDeterminism:
+    def _alloc_trace(self, seed: int, draws: int = 200) -> list[bool]:
+        inj = FaultPlan(
+            seed,
+            [FaultSpec(FaultKind.ALLOC_FAIL, "mcdram", probability=0.3)],
+        ).injector()
+        return [inj.should_fail_alloc("mcdram") for _ in range(draws)]
+
+    def test_same_seed_same_schedule(self):
+        assert self._alloc_trace(42) == self._alloc_trace(42)
+
+    def test_different_seed_different_schedule(self):
+        assert self._alloc_trace(1) != self._alloc_trace(2)
+
+    def test_streams_are_isolated(self):
+        """Draws on one spec's hook must not perturb another's stream."""
+        specs = [
+            FaultSpec(FaultKind.ALLOC_FAIL, "mcdram", probability=0.3),
+            FaultSpec(FaultKind.SPILL_IO_FAIL, probability=0.3),
+        ]
+        a = FaultPlan(9, specs).injector()
+        baseline = [a.should_fail_alloc("mcdram") for _ in range(100)]
+        b = FaultPlan(9, specs).injector()
+        interleaved = []
+        for _ in range(100):
+            interleaved.append(b.should_fail_alloc("mcdram"))
+            try:
+                b.check_spill_io("write")
+            except TransientFaultError:
+                pass
+        assert interleaved == baseline
+
+    def test_phase_events_replay(self):
+        plan = FaultPlan.degraded_mcdram(seed=5, intensity=0.5)
+        e1 = [plan.injector().phase_events(i) for i in range(10)]
+        e2 = [plan.injector().phase_events(i) for i in range(10)]
+        assert e1 == e2
+
+
+class TestInjectorHooks:
+    def test_scheduled_phase_event_fires_once(self):
+        inj = FaultPlan(
+            0,
+            [
+                FaultSpec(
+                    FaultKind.BANDWIDTH_DEGRADE,
+                    "mcdram",
+                    0.5,
+                    at_phase=2,
+                    duration_phases=3,
+                )
+            ],
+        ).injector()
+        fired = [inj.phase_events(i) for i in range(5)]
+        assert [len(f) for f in fired] == [0, 0, 1, 0, 0]
+        ev = fired[2][0]
+        assert ev.target == "mcdram"
+        assert ev.duration_phases == 3
+        assert "mcdram" in ev.describe()
+
+    def test_phase_kinds_filter(self):
+        inj = FaultPlan(
+            0, [FaultSpec(FaultKind.ALLOC_FAIL, "mcdram", at_phase=0)]
+        ).injector()
+        # ALLOC_FAIL is not a phase kind: the engine never consumes it.
+        assert inj.phase_events(0, kinds=PHASE_KINDS) == []
+
+    def test_alloc_fault_counts(self):
+        inj = FaultPlan(
+            0, [FaultSpec(FaultKind.ALLOC_FAIL, "mcdram", probability=1.0)]
+        ).injector()
+        assert inj.should_fail_alloc("mcdram")
+        assert not inj.should_fail_alloc("ddr")
+        assert inj.counters.alloc_faults == 1
+
+    def test_spill_io_transient_and_permanent(self):
+        inj = FaultPlan(
+            0, [FaultSpec(FaultKind.SPILL_IO_FAIL, probability=1.0)]
+        ).injector()
+        with pytest.raises(TransientFaultError):
+            inj.check_spill_io("write")
+        perm = FaultPlan(
+            0,
+            [
+                FaultSpec(
+                    FaultKind.SPILL_IO_FAIL, probability=1.0, permanent=True
+                )
+            ],
+        ).injector()
+        with pytest.raises(PermanentFaultError):
+            perm.check_spill_io("read")
+
+    def test_chunk_fault_targets_one_chunk(self):
+        inj = FaultPlan(
+            0, [FaultSpec(FaultKind.CHUNK_FAIL, at_phase=1)]
+        ).injector()
+        inj.check_chunk(0)
+        with pytest.raises(TransientFaultError):
+            inj.check_chunk(1)
+        assert inj.counters.chunk_faults == 1
+
+    def test_lost_workers_deterministic(self):
+        spec = FaultSpec(FaultKind.WORKER_LOSS, severity=0.25, probability=1.0)
+        threads = tuple(range(16))
+        lost1 = FaultPlan(3, [spec]).injector().lost_workers(threads)
+        lost2 = FaultPlan(3, [spec]).injector().lost_workers(threads)
+        assert lost1 == lost2
+        assert len(lost1) == 4
+
+    def test_counters_ledger(self):
+        c = FaultCounters()
+        c.alloc_fallbacks += 2
+        c.chunk_retries += 1
+        c.mode_degradations += 1
+        assert c.recovery_events == 4
+        d = c.as_dict()
+        assert d["alloc_fallbacks"] == 2
+        assert "stall_seconds" in d

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigError
-from repro.threads.omp import LoopSchedule, ScheduleKind, simulate_loop
+from repro.threads.omp import ScheduleKind, simulate_loop
 
 
 class TestStatic:
