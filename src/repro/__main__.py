@@ -1,4 +1,8 @@
-"""``python -m repro`` dispatches to the CLI."""
+"""``python -m repro`` dispatches to the CLI.
+
+Regenerates the paper's artifacts (Tables 1-3, Figures 6-8) from the
+command line.
+"""
 
 from repro.cli import main
 

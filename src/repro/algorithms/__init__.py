@@ -11,6 +11,9 @@ Every algorithm the paper evaluates exists here in two forms:
   drivers at paper scale (2-6 billion elements).
 
 The shared cost model lives in :mod:`repro.algorithms.costs`.
+
+Covers the Section 4 algorithms, the Section 5 merge benchmark, and the
+Section 2 comparison points.
 """
 
 from repro.algorithms.costs import SortCostModel, sort_levels

@@ -38,6 +38,8 @@ from repro.simknl.devices import MemoryDevice
 from repro.simknl.engine import Engine, Phase, Plan, RunResult
 from repro.simknl.flows import Flow
 from repro.simknl.node import KNLNode
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 from repro.units import GB, GiB, INT64
 
 _T = TypeVar("_T")
@@ -83,6 +85,9 @@ def _retry_io(
                 ) from exc
             if injector is not None:
                 injector.counters.io_retries += 1
+            tel = _tm.current()
+            if tel.enabled:
+                tel.metrics.counter(_tn.SORT_IO_RETRIES_TOTAL).inc()
             delay = backoff_s * (2 ** (attempts - 1))
             if delay > 0:
                 time.sleep(delay)
@@ -118,6 +123,7 @@ def _write_runs(
 ) -> list[Path]:
     """Phase 1: sort budget-sized runs and spill them to disk."""
     paths = []
+    tel = _tm.current()
     for i, start in enumerate(range(0, len(arr), budget)):
         run = np.sort(arr[start : start + budget], kind="stable")
         path = tmpdir / f"run{i:05d}.npy"
@@ -129,6 +135,13 @@ def _write_runs(
             backoff_s,
         )
         paths.append(path)
+        if tel.enabled:
+            m = tel.metrics
+            m.counter(_tn.SORT_SPILL_FILES_TOTAL).inc()
+            m.counter(_tn.SORT_SPILL_BYTES_TOTAL).inc(run.nbytes)
+            tel.events.emit(
+                _tn.EVENT_SORT_SPILL, file=path.name, bytes=run.nbytes
+            )
     return paths
 
 
@@ -142,6 +155,10 @@ def _merge_runs(
 ) -> np.ndarray:
     """Phase 2: k-way merge the runs reading bounded blocks."""
     k = len(paths)
+    tel = _tm.current()
+    if tel.enabled:
+        tel.metrics.histogram(_tn.SORT_MERGE_FAN_IN).observe(k)
+        tel.events.emit(_tn.EVENT_SORT_MERGE, fan_in=k)
     block = max(1, budget // (k + 1))
     readers = [
         _retry_io(

@@ -41,6 +41,8 @@ from repro.faults import FaultInjector
 from repro.simknl.engine import Phase, Plan
 from repro.simknl.flows import Flow
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 from repro.threads.pool import PoolSet
 from repro.units import INT64
 
@@ -55,6 +57,11 @@ def _sort_megachunk(mega: np.ndarray, threads: int) -> np.ndarray:
     k = min(threads, len(mega))
     bounds = [len(mega) * t // k for t in range(k + 1)]
     runs = [serial_sort(mega[bounds[t] : bounds[t + 1]]) for t in range(k)]
+    tel = _tm.current()
+    if tel.enabled:
+        tel.metrics.counter(_tn.SORT_MEGACHUNKS_TOTAL).inc()
+        tel.metrics.histogram(_tn.SORT_MERGE_FAN_IN).observe(len(runs))
+        tel.events.emit(_tn.EVENT_SORT_MERGE, fan_in=len(runs))
     return multiway_merge(runs)
 
 
@@ -87,6 +94,10 @@ def mlm_sort(
     megachunks = [
         _sort_megachunk(mega, threads) for mega in chunker.split_array(arr)
     ]
+    tel = _tm.current()
+    if tel.enabled and len(megachunks) > 1:
+        tel.metrics.histogram(_tn.SORT_MERGE_FAN_IN).observe(len(megachunks))
+        tel.events.emit(_tn.EVENT_SORT_MERGE, fan_in=len(megachunks))
     return multiway_merge(megachunks)
 
 
@@ -336,6 +347,9 @@ def mlm_sort_plan(
         compute_threads = cfg.threads - copy_threads
 
     plan = Plan(name=f"mlm-{cfg.mode.value}/{cfg.order}/n={cfg.n}")
+    tel = _tm.current()
+    if tel.enabled:
+        tel.metrics.counter(_tn.SORT_MEGACHUNKS_TOTAL).inc(len(megachunks))
     for mc in megachunks:
         mb = float(mc.nbytes)
         if cost.chunk_overhead_s > 0:

@@ -15,6 +15,8 @@ the GNU baseline itself. We implement the machinery from scratch:
   global rank split across k sorted sequences so parallel threads can
   each merge an independent slice. This is the synchronization-free
   decomposition the GNU merge uses for thread parallelism.
+
+Serves the Section 4 MLM-sort stages and the Section 5 merge benchmark.
 """
 
 from __future__ import annotations

@@ -7,6 +7,8 @@ buffer. :func:`gnu_parallel_sort` implements exactly that structure on
 NumPy arrays; :func:`gnu_sort_plan` emits the corresponding timed flow
 plan for the simulated node, in DDR (the paper's "GNU-flat") or
 hardware cache mode ("GNU-cache").
+
+The GNU baseline of Table 1 (flat and cache modes).
 """
 
 from __future__ import annotations

@@ -11,6 +11,9 @@ paper uses ``std::sort``). We provide:
 * :func:`serial_sort` — the production entry point, delegating to
   NumPy's introsort-family ``np.sort(kind="quicksort")`` for speed
   while keeping the same semantics.
+
+Implements the Section 4.1 design decision of one serial sort per
+thread.
 """
 
 from __future__ import annotations

@@ -4,7 +4,15 @@ Usage::
 
     repro-knl table1              # or: python -m repro table1
     repro-knl figure8 --csv out.csv
+    repro-knl table1 --metrics m.json --events e.perfetto.json
     repro-knl all
+
+``--metrics`` / ``--events`` run the experiment inside a telemetry
+session and write the snapshot/event log in the format implied by the
+file extension (see ``docs/OBSERVABILITY.md``).
+
+Each subcommand regenerates one paper artifact (Tables 1-3, Figures
+6-8) or one extension driver.
 """
 
 from __future__ import annotations
@@ -14,17 +22,7 @@ import sys
 
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.report import render_series, render_table, to_csv
-
-#: Experiments rendered as series charts rather than plain tables.
-_SERIES = {
-    "figure6": ("algorithm", ["speedup"]),
-    "figure7": ("chunk_elements", ["flat_s", "implicit_s"]),
-    "figure8": ("copy_threads", ["model_s", "empirical_s"]),
-    "nvm": ("strategy", ["seconds"]),
-    "hybrid": ("config", ["seconds"]),
-    "energy": ("algorithm", ["energy_j"]),
-    "faults": ("intensity", ["resilient_s", "monolithic_s"]),
-}
+from repro.telemetry import telemetry_session, write_events, write_metrics
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,13 +49,31 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="render figures as ASCII series charts instead of tables",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help=(
+            "collect telemetry and write the metrics snapshot to PATH "
+            "(.json, .prom/.txt, or .csv by extension)"
+        ),
+    )
+    parser.add_argument(
+        "--events",
+        metavar="PATH",
+        help=(
+            "collect telemetry and write the event log to PATH (.json, "
+            "or .perfetto.json/.trace.json for Perfetto)"
+        ),
+    )
     return parser
 
 
 def _emit(result, args) -> None:
-    if args.chart and result.experiment in _SERIES:
-        x, ys = _SERIES[result.experiment]
-        print(render_series(result, x, ys))
+    spec = getattr(
+        ALL_EXPERIMENTS.get(result.experiment), "series_spec", None
+    )
+    if args.chart and spec is not None:
+        print(render_series(result, spec.x, list(spec.ys)))
     else:
         print(render_table(result))
     print()
@@ -73,12 +89,27 @@ def _emit(result, args) -> None:
                 fh.write(text)
 
 
+def _run_all(args) -> None:
+    names = (
+        list(ALL_EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        _emit(ALL_EXPERIMENTS[name](), args)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        _emit(ALL_EXPERIMENTS[name](), args)
+    if args.metrics or args.events:
+        with telemetry_session() as tel:
+            _run_all(args)
+        if args.metrics:
+            write_metrics(args.metrics, tel)
+        if args.events:
+            write_events(args.events, tel)
+    else:
+        _run_all(args)
     return 0
 
 

@@ -11,6 +11,9 @@ Three strategies are provided for comparison:
 * ``single``   — one-level chunking NVM → MCDRAM (skipping DDR);
 * ``double``   — the full two-level pipeline: the outer copy of the
   next chunk overlaps the inner pipeline of the current one.
+
+The paper's conclusion sketches this future work; chunk geometry
+follows Section 3.
 """
 
 from __future__ import annotations

@@ -23,6 +23,9 @@ paths a production system needs when the stack misbehaves:
 Capacity-loss and worker-loss fault events recorded by the engine are
 applied between chunks: the heap region shrinks (live buffers
 survive) and the thread pools re-split between compute and copy roles.
+
+Extension beyond the paper (DESIGN.md Section 7) layered over the
+Section 3 / Fig. 2 chunked pipeline.
 """
 
 from __future__ import annotations
@@ -49,6 +52,8 @@ from repro.model.params import ModelParams
 from repro.simknl.engine import Engine, Phase, Plan
 from repro.simknl.flows import Flow
 from repro.simknl.node import KNLNode
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 from repro.threads.pool import PoolSet
 
 #: Copy threads per direction used when no pool split is supplied.
@@ -225,6 +230,18 @@ class ResilientPipeline:
         if mode is UsageMode.DDR:
             return mode
         self.counters.mode_degradations += 1
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(
+                _tn.RESILIENCE_MODE_DEGRADATIONS_TOTAL
+            ).inc()
+            tel.events.emit(
+                _tn.EVENT_MODE_DEGRADE,
+                from_mode=mode.value,
+                to_mode=UsageMode.DDR.value,
+                chunk=index,
+                reason=why,
+            )
         log.append(f"chunk {index}: degraded {mode.value} -> ddr ({why})")
         warnings.warn(
             f"MCDRAM unusable ({why}); degrading {mode.value!r} plan to the "
@@ -290,6 +307,14 @@ class ResilientPipeline:
                     ) from exc
                 self.counters.chunk_retries += 1
                 attempts += 1
+                tel = _tm.current()
+                if tel.enabled:
+                    tel.metrics.counter(
+                        _tn.RESILIENCE_CHUNK_RETRIES_TOTAL
+                    ).inc()
+                    tel.events.emit(
+                        _tn.EVENT_CHUNK_RETRY, chunk=index, attempt=attempts
+                    )
 
     # ---- execution ------------------------------------------------------
 
@@ -343,6 +368,17 @@ class ResilientPipeline:
                         # the better of the two attempts.
                         straggler = True
                         self.counters.stragglers += 1
+                        tel = _tm.current()
+                        if tel.enabled:
+                            tel.metrics.counter(
+                                _tn.RESILIENCE_STRAGGLERS_TOTAL
+                            ).inc()
+                            tel.events.emit(
+                                _tn.EVENT_CHUNK_STRAGGLER,
+                                chunk=chunk.index,
+                                seconds=elapsed,
+                                median_seconds=typical,
+                            )
                         retry = engine.run(subplan)
                         engine.phase_offset += len(subplan.phases)
                         attempts += 1
@@ -357,12 +393,18 @@ class ResilientPipeline:
                 log.extend(res.faults)
                 times.append(elapsed)
                 clock += elapsed
+                device = "ddr" if chunk_mode is UsageMode.DDR else "mcdram"
+                tel = _tm.current()
+                if tel.enabled:
+                    tel.metrics.counter(
+                        _tn.RESILIENCE_CHUNKS_TOTAL
+                    ).inc(device=device)
                 outcomes.append(
                     ChunkOutcome(
                         index=chunk.index,
                         elapsed=elapsed,
                         attempts=attempts,
-                        device="ddr" if chunk_mode is UsageMode.DDR else "mcdram",
+                        device=device,
                         straggler=straggler,
                     )
                 )

@@ -1,4 +1,8 @@
-"""Exception hierarchy for the repro package."""
+"""Exception hierarchy for the repro package.
+
+Shared infrastructure across every layer of the reproduction; not tied
+to a single paper section.
+"""
 
 from __future__ import annotations
 

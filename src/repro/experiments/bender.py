@@ -6,6 +6,8 @@ gain roughly 30 % over the unchunked baseline and cut DDR traffic by
 about 2.5x. We run the basic buffered chunked sort against GNU-flat
 on the simulated node and report both ratios, plus the Snir-style
 bandwidth-boundedness check that underpins the whole premise.
+
+Backs the Bender-corroboration rows of the Section 5 evaluation.
 """
 
 from __future__ import annotations

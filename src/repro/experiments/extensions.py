@@ -32,6 +32,7 @@ from repro.core.modes import UsageMode
 from repro.core.multilevel import ThreeLevelConfig, ThreeLevelPipeline
 from repro.experiments.runner import (
     ExperimentResult,
+    SeriesSpec,
     VARIANTS,
     sort_variant_run,
 )
@@ -639,3 +640,11 @@ def run_energy(n: int = 2_000_000_000) -> ExperimentResult:
             "chunked variants win on energy as well as time",
         ],
     )
+
+
+run_nvm.series_spec = SeriesSpec("strategy", ("seconds",))
+run_hybrid.series_spec = SeriesSpec("config", ("seconds",))
+run_energy.series_spec = SeriesSpec("algorithm", ("energy_j",))
+run_faults.series_spec = SeriesSpec(
+    "intensity", ("resilient_s", "monolithic_s")
+)

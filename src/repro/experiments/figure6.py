@@ -10,6 +10,7 @@ from repro.experiments.paperdata import TABLE1_SECONDS
 from repro.experiments.runner import (
     VARIANTS,
     ExperimentResult,
+    SeriesSpec,
     sort_variant_seconds,
 )
 
@@ -56,3 +57,6 @@ def run_figure6(
             "paper headline: 1.6-1.9x for the best MLM variant over GNU-flat"
         ],
     )
+
+
+run_figure6.series_spec = SeriesSpec("algorithm", ("speedup",))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
 from repro.core.modes import UsageMode
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, SeriesSpec
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 
 #: Default chunk sizes swept, in elements (0.125B .. 6B).
@@ -73,3 +73,8 @@ def run_figure7(
             "flat; implicit tolerates megachunks beyond MCDRAM",
         ],
     )
+
+
+run_figure7.series_spec = SeriesSpec(
+    "chunk_elements", ("flat_s", "implicit_s")
+)

@@ -9,7 +9,7 @@ the buffered pipeline on the simulated node.
 from __future__ import annotations
 
 from repro.algorithms.merge_bench import MergeBenchConfig, run_merge_bench
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, SeriesSpec
 from repro.model.analytic import predict
 from repro.model.params import ModelParams
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
@@ -56,3 +56,8 @@ def run_figure8(
             "closed-form model deliberately neglects"
         ],
     )
+
+
+run_figure8.series_spec = SeriesSpec(
+    "copy_threads", ("model_s", "empirical_s")
+)

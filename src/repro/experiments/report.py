@@ -2,6 +2,8 @@
 
 ASCII tables for the paper's tables, simple series charts for the
 figures, and CSV export for downstream plotting.
+
+Renders the paper's Tables 1-3 and Figures 6-8 as plain text.
 """
 
 from __future__ import annotations

@@ -11,16 +11,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.errors import ConfigError
+from repro.errors import AllocationError, ConfigError
 from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
 from repro.algorithms.parallel_sort import gnu_sort_plan
 from repro.core.modes import UsageMode
+from repro.memkind.allocator import Heap
+from repro.memkind.kinds import MEMKIND_DEFAULT, MEMKIND_HBW_PREFERRED
 from repro.simknl.engine import RunResult
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.telemetry import runtime as _tm
+from repro.units import INT64
 
 #: Paper algorithm labels in Table 1 order.
 VARIANTS = ("GNU-flat", "GNU-cache", "MLM-ddr", "MLM-sort", "MLM-implicit")
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """How a driver's rows render as an ASCII series chart.
+
+    Drivers that make sense as charts (the figure and sweep
+    experiments) attach one of these as a ``series_spec`` attribute on
+    the driver function; the CLI's ``--chart`` flag picks it up.
+    """
+
+    x: str
+    ys: tuple[str, ...]
 
 
 @dataclass
@@ -67,6 +84,43 @@ def paper_megachunk(n: int) -> int:
     return 1_500_000_000 if n >= 6_000_000_000 else 1_000_000_000
 
 
+def _account_buffers(
+    node: KNLNode, variant: str, n: int, megachunk: int
+) -> None:
+    """Account a variant's principal buffers in the active telemetry.
+
+    The timed plans are closed-form flow models — they never touch the
+    memkind heap — so a metrics-enabled run walks the same placement
+    the real algorithm would make: the input array on DDR and, for the
+    explicit-chunking MLM-sort, one megachunk buffer preferring
+    MCDRAM. That populates the allocator request/byte counters and the
+    per-device high-water gauge honestly (the buffers are freed again;
+    high-water marks survive). No-op when telemetry is disabled and
+    when a buffer exceeds the simulated region (paper-scale inputs can
+    exceed DDR — that is the point of the out-of-core drivers).
+    """
+    tel = _tm.current()
+    if not tel.enabled:
+        return
+    heap = Heap(node)
+    allocations = []
+    try:
+        allocations.append(
+            heap.allocate(int(n) * INT64, MEMKIND_DEFAULT)
+        )
+    except AllocationError:
+        pass
+    if variant == "MLM-sort" and heap.has_hbw():
+        try:
+            allocations.append(
+                heap.allocate(int(megachunk) * INT64, MEMKIND_HBW_PREFERRED)
+            )
+        except AllocationError:
+            pass
+    for allocation in allocations:
+        heap.free(allocation)
+
+
 def sort_variant_run(
     variant: str,
     n: int,
@@ -80,6 +134,7 @@ def sort_variant_run(
         raise ConfigError(f"unknown variant {variant!r}; one of {VARIANTS}")
     cost = cost or SortCostModel()
     node = node_for_variant(variant)
+    _account_buffers(node, variant, n, megachunk or paper_megachunk(n))
     if variant == "GNU-flat":
         plan = gnu_sort_plan(node, n, order, UsageMode.DDR, threads, cost)
     elif variant == "GNU-cache":

@@ -27,6 +27,9 @@ re-solves its max-min bandwidth allocation after a degradation event,
 the heap spills HBW allocations to DDR instead of raising, the pools
 re-split after worker loss, and :class:`repro.core.ResilientPipeline`
 retries failed chunks and downgrades FLAT plans to the DDR path.
+
+Extension beyond the paper (DESIGN.md Section 7) stress-testing the
+Section 4 chunked pipeline.
 """
 
 from __future__ import annotations
@@ -40,6 +43,8 @@ from repro.errors import (
     PermanentFaultError,
     TransientFaultError,
 )
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 
 
 class FaultKind(enum.Enum):
@@ -297,6 +302,18 @@ class FaultInjector:
     def _record(self, event: FaultEvent) -> FaultEvent:
         self.counters.injected += 1
         self.events.append(event)
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.FAULTS_INJECTED_TOTAL).inc(
+                kind=event.kind.value
+            )
+            tel.events.emit(
+                _tn.EVENT_FAULT_INJECTED,
+                kind=event.kind.value,
+                target=event.target,
+                severity=event.severity,
+                phase=event.phase_index,
+            )
         return event
 
     # ---- hook points ----------------------------------------------------

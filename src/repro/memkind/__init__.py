@@ -8,6 +8,9 @@ free-list heap manages each device's address range, and the numactl
 ``--preferred`` behaviour used by Li et al. (allocate in MCDRAM until
 full, then spill to DDR) is available as
 :data:`~repro.memkind.kinds.MEMKIND_HBW_PREFERRED`.
+
+Reproduces the flat-mode allocation mechanism of Section 1; the Section
+3 chunk buffers allocate through it.
 """
 
 from repro.memkind.kinds import (

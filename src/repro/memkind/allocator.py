@@ -8,6 +8,9 @@ and implements the kind policies (bind / preferred / interleave).
 Addresses are synthetic but stable, so they can feed the line-level
 cache simulator (e.g. to study conflict misses between co-resident
 buffers in hardware cache mode).
+
+Backs the flat-mode chunk buffers of Section 3 (Fig. 2's triple buffers
+really allocate here).
 """
 
 from __future__ import annotations
@@ -19,6 +22,8 @@ from repro.errors import AllocationError, ConfigError, DegradedModeWarning
 from repro.faults import FaultInjector
 from repro.memkind.kinds import Kind, Policy
 from repro.simknl.node import KNLNode
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 from repro.units import KiB
 
 #: Default allocation granularity (one small page).
@@ -274,6 +279,15 @@ class Heap:
             )
         block = self._region(fallback).alloc(size)
         self.injector.counters.alloc_fallbacks += 1
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.ALLOC_FALLBACKS_TOTAL).inc()
+            tel.events.emit(
+                _tn.EVENT_ALLOC_FALLBACK,
+                target=kind.target,
+                fallback=fallback,
+                bytes=size,
+            )
         warnings.warn(
             f"allocation fault on {kind.target!r}: {size} bytes placed on "
             f"{fallback!r} instead",
@@ -282,12 +296,41 @@ class Heap:
         )
         return Allocation(kind=kind, blocks=[block])
 
+    def _note_alloc(self, allocation: Allocation) -> None:
+        """Account a successful allocation in the active telemetry."""
+        tel = _tm.current()
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        per_device: dict[str, int] = {}
+        for b in allocation.blocks:
+            per_device[b.device] = per_device.get(b.device, 0) + b.size
+        for device, nbytes in per_device.items():
+            m.counter(_tn.ALLOC_REQUESTS_TOTAL).inc(device=device)
+            m.counter(_tn.ALLOC_BYTES_TOTAL).inc(nbytes, device=device)
+            m.gauge(_tn.ALLOC_HIGH_WATER_BYTES).set_max(
+                self.regions[device].allocated, device=device
+            )
+
     def allocate(self, size: int, kind: Kind) -> Allocation:
         """Allocate ``size`` bytes according to ``kind``'s policy."""
         if size <= 0:
             raise AllocationError(
                 f"allocation size must be positive, got {size}"
             )
+        try:
+            allocation = self._allocate(size, kind)
+        except AllocationError:
+            tel = _tm.current()
+            if tel.enabled:
+                tel.metrics.counter(_tn.ALLOC_FAILURES_TOTAL).inc(
+                    device=kind.target
+                )
+            raise
+        self._note_alloc(allocation)
+        return allocation
+
+    def _allocate(self, size: int, kind: Kind) -> Allocation:
         if kind.policy is Policy.BIND:
             if self._fault_on(kind.target):
                 return self._fault_fallback(size, kind)
@@ -302,7 +345,20 @@ class Heap:
             except AllocationError:
                 if kind.fallback is None:
                     raise
+                tel = _tm.current()
+                if tel.enabled:
+                    tel.metrics.counter(_tn.ALLOC_FAILURES_TOTAL).inc(
+                        device=kind.target
+                    )
                 block = self._region(kind.fallback).alloc(size)
+                if tel.enabled:
+                    tel.metrics.counter(_tn.ALLOC_FALLBACKS_TOTAL).inc()
+                    tel.events.emit(
+                        _tn.EVENT_ALLOC_FALLBACK,
+                        target=kind.target,
+                        fallback=kind.fallback,
+                        bytes=size,
+                    )
                 return Allocation(kind=kind, blocks=[block])
         if kind.policy is Policy.INTERLEAVE:
             if self._fault_on(kind.target):
@@ -319,7 +375,13 @@ class Heap:
         region = self.regions.get(device)
         if region is None:
             return 0
-        return region.shrink(nbytes)
+        removed = region.shrink(nbytes)
+        tel = _tm.current()
+        if tel.enabled and removed > 0:
+            tel.events.emit(
+                _tn.EVENT_HEAP_SHRINK, device=device, bytes=removed
+            )
+        return removed
 
     def _allocate_interleaved(self, size: int, kind: Kind) -> Allocation:
         if kind.fallback is None:
@@ -348,8 +410,13 @@ class Heap:
         """Free all blocks of ``allocation``. Double frees raise."""
         if allocation.freed:
             raise AllocationError("double free of allocation")
+        tel = _tm.current()
         for b in allocation.blocks:
             self.regions[b.device].free(b)
+            if tel.enabled:
+                tel.metrics.counter(_tn.ALLOC_FREES_TOTAL).inc(
+                    device=b.device
+                )
         allocation.freed = True
 
     def usage(self) -> dict[str, int]:

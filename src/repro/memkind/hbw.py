@@ -9,6 +9,8 @@ Mirrors the C API the paper's flat-mode code uses::
 
 plus the policy selector ``hbw_set_policy`` which maps onto the
 PREFERRED/BIND kinds.
+
+The flat-mode allocation API of Section 1.
 """
 
 from __future__ import annotations

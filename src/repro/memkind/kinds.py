@@ -11,6 +11,9 @@ memkind's ``MEMKIND_DEFAULT`` / ``MEMKIND_HBW`` / ``MEMKIND_HBW_PREFERRED``
   Li et al. used for "flat mode without chunking", which the paper
   contrasts with explicit chunking.
 * ``INTERLEAVE`` — stripe pages round-robin across the devices.
+
+Mirrors the memkind policies the paper's Section 1 flat-mode code
+relies on.
 """
 
 from __future__ import annotations

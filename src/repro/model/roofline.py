@@ -7,6 +7,9 @@ memory traffic) against the *machine balance* (aggregate compute
 throughput over memory bandwidth). Intensity below balance means the
 memory system, not the cores, sets the execution time — the regime in
 which MCDRAM helps and the paper's chunking machinery pays off.
+
+Backs the Section 5 corroboration that the studied sorts are bandwidth
+bound on the Table 2 machine.
 """
 
 from __future__ import annotations

@@ -17,6 +17,9 @@ A fraction of MCDRAM capacity is reserved for tags when the real
 hardware holds tag state in the array itself; the paper calls this out
 as a disadvantage of cache mode, and :class:`DirectMappedCache` models
 it via ``tag_overhead``.
+
+Models the hardware cache mode of Section 1 (and Section 1.1's direct-
+mapped caveats); the Fig. 4 pollution effect reproduces on top of it.
 """
 
 from __future__ import annotations
@@ -24,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigError
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 from repro.units import CACHE_LINE
 
 
@@ -119,26 +124,40 @@ class DirectMappedCache:
         """
         if addr < 0:
             raise ConfigError("negative address")
+        tel = _tm.current()
         index, line = self._index_and_line(addr)
         state = self._lines.get(index)
         if state is not None and state.tag == line:
             self.stats.hits += 1
             if write:
                 state.dirty = True
+            if tel.enabled:
+                tel.metrics.counter(_tn.CACHE_HITS_TOTAL).inc()
             return True
         # Miss: classify.
         if line not in self._ever_seen:
             self.stats.cold_misses += 1
+            miss_class = "cold"
         else:
             # Distinguish conflict from capacity by whether the live
             # working set (distinct lines seen) exceeds the cache.
             if len(self._ever_seen) > self.num_lines:
                 self.stats.capacity_misses += 1
+                miss_class = "capacity"
             else:
                 self.stats.conflict_misses += 1
+                miss_class = "conflict"
         self._ever_seen.add(line)
-        if state is not None and state.dirty:
+        writeback = state is not None and state.dirty
+        if writeback:
             self.stats.writebacks += 1
+        if tel.enabled:
+            m = tel.metrics
+            m.counter(_tn.CACHE_MISSES_TOTAL).inc(**{"class": miss_class})
+            if state is not None:
+                m.counter(_tn.CACHE_EVICTIONS_TOTAL).inc()
+            if writeback:
+                m.counter(_tn.CACHE_WRITEBACKS_TOTAL).inc()
         self._lines[index] = _LineState(tag=line, dirty=write)
         return False
 
@@ -161,6 +180,11 @@ class DirectMappedCache:
         dirty = sum(1 for s in self._lines.values() if s.dirty)
         self.stats.writebacks += dirty
         self._lines.clear()
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.CACHE_FLUSHES_TOTAL).inc()
+            if dirty:
+                tel.metrics.counter(_tn.CACHE_WRITEBACKS_TOTAL).inc(dirty)
         return dirty
 
     def reset(self) -> None:

@@ -16,6 +16,9 @@ sequential stream has exactly two regimes:
 The model mirrors the functional simulator's traffic accounting
 (including final writeback of dirty lines) and is validated against it
 in the test suite on small configurations.
+
+Models the hardware cache mode of Section 1, including the Section 1.1
+thrashing caveat.
 """
 
 from __future__ import annotations

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import CapacityError, ConfigError
 from repro.simknl.flows import Resource
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 from repro.units import CACHE_LINE, GB, GiB
 
 
@@ -105,6 +107,11 @@ class MemoryDevice:
         new_capacity = max(self.allocated, self.capacity - nbytes)
         lost = self.capacity - new_capacity
         self.capacity = new_capacity
+        tel = _tm.current()
+        if tel.enabled and lost > 0:
+            tel.metrics.counter(
+                _tn.DEVICE_CAPACITY_LOST_BYTES_TOTAL
+            ).inc(lost, device=self.name)
         return lost
 
     def restore_capacity(self) -> None:
@@ -132,6 +139,11 @@ class MemoryDevice:
                 f"{self.free / GiB:.3f} GiB"
             )
         self.allocated += nbytes
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.gauge(_tn.DEVICE_RESERVED_BYTES).set(
+                self.allocated, device=self.name
+            )
 
     def release(self, nbytes: float) -> None:
         """Return ``nbytes`` of previously reserved capacity."""
@@ -142,6 +154,11 @@ class MemoryDevice:
                 f"{self.name}: releasing more than allocated"
             )
         self.allocated = max(0.0, self.allocated - nbytes)
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.gauge(_tn.DEVICE_RESERVED_BYTES).set(
+                self.allocated, device=self.name
+            )
 
     def per_thread_rate_bound(self, mlp: int = 10) -> float:
         """Little's-law bound on one thread's streaming rate (bytes/s).

@@ -11,6 +11,9 @@ Default per-bit figures follow common architectural estimates for the
 KNL generation: ~5 pJ/bit for on-package MCDRAM, ~15 pJ/bit for
 off-package DDR4 (I/O + DRAM core), i.e. on-package traffic is ~3x
 cheaper per byte.
+
+Supports the introduction's (Section 1) energy motivation for
+multilevel memory.
 """
 
 from __future__ import annotations

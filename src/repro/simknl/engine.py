@@ -24,6 +24,8 @@ from typing import Callable, Iterable
 from repro.errors import PlanError, SimulationError
 from repro.faults import FaultInjector, FaultKind
 from repro.simknl.flows import Flow, Resource, allocate_rates
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 
 _EPS = 1e-12
 
@@ -249,14 +251,63 @@ class Engine:
         faults: list[str] = []
         pending_restores: dict[int, list[str]] = {}
 
+        tel = _tm.current()
+        # Successive runs share one monotonic sim timeline: this run's
+        # phase/flow events are offset by the log's current watermark.
+        t0 = tel.events.now if tel.enabled else 0.0
+        if tel.enabled:
+            tel.events.emit(_tn.EVENT_RUN_START, time=t0, plan=plan.name)
+            m = tel.metrics
+            c_phases = m.counter(_tn.ENGINE_PHASES_TOTAL)
+            c_stall = m.counter(_tn.ENGINE_STALL_SECONDS_TOTAL)
+            c_traffic = m.counter(_tn.ENGINE_TRAFFIC_BYTES_TOTAL)
+            h_phase = m.histogram(_tn.ENGINE_PHASE_SECONDS)
+
         for index, phase in enumerate(plan.phases):
             stall = self._apply_phase_faults(
                 index, phase, clock, faults, pending_restores, events
             )
-            t = self._run_phase(phase, clock + stall, traffic, events) + stall
+            if tel.enabled:
+                tel.events.emit(
+                    _tn.EVENT_PHASE_START,
+                    time=t0 + clock,
+                    plan=plan.name,
+                    phase=phase.name,
+                    index=index,
+                )
+                before = dict(traffic)
+            t = self._run_phase(
+                phase, clock + stall, traffic, events, tel, t0
+            ) + stall
             phase_times.append(t)
             clock += t
+            if tel.enabled:
+                c_phases.inc()
+                h_phase.observe(t)
+                if stall > 0:
+                    c_stall.inc(stall)
+                for name, total in traffic.items():
+                    moved = total - before.get(name, 0.0)
+                    if moved > 0:
+                        c_traffic.inc(moved, resource=name)
+                tel.events.emit(
+                    _tn.EVENT_PHASE_END,
+                    time=t0 + clock,
+                    plan=plan.name,
+                    phase=phase.name,
+                    index=index,
+                    seconds=t,
+                    stall_seconds=stall,
+                )
 
+        if tel.enabled:
+            tel.metrics.counter(_tn.ENGINE_RUNS_TOTAL).inc()
+            tel.events.emit(
+                _tn.EVENT_RUN_END,
+                time=t0 + clock,
+                plan=plan.name,
+                seconds=clock,
+            )
         return RunResult(
             elapsed=clock,
             traffic=traffic,
@@ -271,8 +322,28 @@ class Engine:
         start: float,
         traffic: dict[str, float],
         events: list[tuple[float, str]],
+        tel: _tm.Telemetry | None = None,
+        t0: float = 0.0,
     ) -> float:
         """Run one phase; returns its elapsed time."""
+        if tel is None:
+            tel = _tm.current()
+        if tel.enabled:
+            c_flows = tel.metrics.counter(_tn.ENGINE_FLOW_COMPLETIONS_TOTAL)
+
+        def flow_done(at: float, f: Flow) -> None:
+            if tel.enabled:
+                c_flows.inc()
+                tel.events.emit(
+                    _tn.EVENT_FLOW_COMPLETE,
+                    time=t0 + at,
+                    phase=phase.name,
+                    flow=f.name,
+                    bytes=f.bytes_total,
+                )
+            if self.record_events:
+                events.append((at, f"{phase.name}:{f.name} done"))
+
         # Work on copies of byte counters so plans can be re-run.
         remaining = {id(f): f.bytes_total for f in phase.flows}
         live = [f for f in phase.flows if remaining[id(f)] > 0]
@@ -291,11 +362,7 @@ class Engine:
                 dt = max(dt, remaining[id(f)] / r)
                 for name, mult in f.resources.items():
                     traffic[name] += remaining[id(f)] * mult
-                if self.record_events:
-                    events.append(
-                        (start + remaining[id(f)] / r,
-                         f"{phase.name}:{f.name} done")
-                    )
+                flow_done(start + remaining[id(f)] / r, f)
             return dt
         elapsed = 0.0
         # Each iteration completes at least one flow, so this loop runs
@@ -327,10 +394,7 @@ class Engine:
                     traffic[name] += moved * mult
                 done = remaining[id(f)] <= _EPS * max(1.0, f.bytes_total)
                 if done:
-                    if self.record_events:
-                        events.append(
-                            (start + elapsed, f"{phase.name}:{f.name} done")
-                        )
+                    flow_done(start + elapsed, f)
                 else:
                     next_live.append(f)
             if len(next_live) == len(live):

@@ -11,6 +11,9 @@ Defaults approximate first-generation Optane DC persistent memory:
 an order of magnitude below DDR bandwidth, asymmetric read/write (we
 use the conservative write-ish sustained figure), microsecond-class
 latency, terabyte-class capacity.
+
+Implements the conclusion's future-work sketch; contrast with Section
+2.2's external-memory algorithms.
 """
 
 from __future__ import annotations

@@ -10,6 +10,9 @@ bisection bandwidth can be contributed as an additional flow resource;
 with the defaults it is generous enough that it rarely binds —
 matching the paper, which treats NoC contention as a secondary effect
 of over-provisioning copy threads.
+
+Models the Xeon Phi 7250 node of Section 1 with the Table 2 device
+parameters attached.
 """
 
 from __future__ import annotations

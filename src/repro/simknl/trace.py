@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigError
 from repro.simknl.engine import Plan, RunResult
+from repro.telemetry.events import EventLog
+from repro.telemetry.export import events_to_perfetto
 
 
 @dataclass(frozen=True)
@@ -98,14 +100,23 @@ def render_gantt(
     return "\n".join(lines)
 
 
-def to_chrome_trace(plan: Plan, result: RunResult) -> str:
+def to_chrome_trace(
+    plan: Plan, result: RunResult, events: EventLog | None = None
+) -> str:
     """Serialize the run as Chrome-trace JSON (one track per phase
-    role, microsecond timestamps)."""
-    events = []
+    role, microsecond timestamps).
+
+    When a telemetry :class:`~repro.telemetry.events.EventLog` is
+    supplied, its records are merged in as instant-event annotation
+    tracks (one per event category) alongside the flow tracks, so a
+    single Perfetto view shows phases, flows, fault injections, and
+    allocator fallbacks on one timeline.
+    """
+    trace_events = []
     clock = 0.0
     for phase, t in zip(plan.phases, result.phase_times):
         for f in phase.flows:
-            events.append(
+            trace_events.append(
                 {
                     "name": f.name,
                     "cat": "flow",
@@ -122,4 +133,7 @@ def to_chrome_trace(plan: Plan, result: RunResult) -> str:
                 }
             )
         clock += t
-    return json.dumps({"traceEvents": events}, indent=1)
+    if events is not None:
+        merged = json.loads(events_to_perfetto(events))
+        trace_events.extend(merged["traceEvents"])
+    return json.dumps({"traceEvents": trace_events}, indent=1)

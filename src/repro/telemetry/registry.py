@@ -1,0 +1,259 @@
+"""Metric primitives: counters, gauges, histograms with labels.
+
+All metrics live in a :class:`MetricRegistry`, which only accepts
+names declared in :mod:`repro.telemetry.names` — the guarantee behind
+the catalog test. Labels are validated against the spec; a metric with
+labels keeps one time series per label-value combination.
+
+Histograms use sparse power-of-two buckets (one bucket per
+``floor(log2(value))``) so a single implementation serves quantities
+from microseconds to hundreds of gigabytes with no per-metric bucket
+configuration.
+
+Telemetry is reproduction infrastructure spanning all paper sections;
+the histogram buckets are sized for the second-scale phase times of
+Tables 1 and 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.errors import ConfigError
+from repro.telemetry.names import METRICS, MetricSpec
+
+#: A label set frozen into a dict key, in spec order.
+LabelKey = tuple[str, ...]
+
+
+def _label_key(spec: MetricSpec, labels: dict[str, Any]) -> LabelKey:
+    if set(labels) != set(spec.labels):
+        raise ConfigError(
+            f"metric {spec.name!r} takes labels {spec.labels}, got "
+            f"{tuple(sorted(labels))}"
+        )
+    return tuple(str(labels[k]) for k in spec.labels)
+
+
+class Counter:
+    """A monotonically increasing sum, per label set."""
+
+    def __init__(self, spec: MetricSpec) -> None:
+        self.spec = spec
+        self._values: dict[LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: Any) -> None:
+        """Add ``value`` (>= 0) to the series selected by ``labels``."""
+        if value < 0:
+            raise ConfigError(
+                f"counter {self.spec.name!r} cannot decrease"
+            )
+        key = _label_key(self.spec, labels)
+        self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one series (0.0 if never incremented)."""
+        return self._values.get(_label_key(self.spec, labels), 0.0)
+
+    def series(self) -> Iterator[tuple[dict[str, str], float]]:
+        """Yield ``(labels, value)`` for every series."""
+        for key, v in sorted(self._values.items()):
+            yield dict(zip(self.spec.labels, key)), v
+
+
+class Gauge:
+    """A value that can move both ways, per label set."""
+
+    def __init__(self, spec: MetricSpec) -> None:
+        self.spec = spec
+        self._values: dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        """Set the series to ``value``."""
+        self._values[_label_key(self.spec, labels)] = float(value)
+
+    def set_max(self, value: float, **labels: Any) -> None:
+        """High-water update: keep the larger of current and ``value``."""
+        key = _label_key(self.spec, labels)
+        cur = self._values.get(key)
+        if cur is None or value > cur:
+            self._values[key] = float(value)
+
+    def add(self, value: float, **labels: Any) -> None:
+        """Add ``value`` (either sign) to the series."""
+        key = _label_key(self.spec, labels)
+        self._values[key] = self._values.get(key, 0.0) + float(value)
+
+    def value(self, **labels: Any) -> float:
+        """Current value of one series (0.0 if never set)."""
+        return self._values.get(_label_key(self.spec, labels), 0.0)
+
+    def series(self) -> Iterator[tuple[dict[str, str], float]]:
+        """Yield ``(labels, value)`` for every series."""
+        for key, v in sorted(self._values.items()):
+            yield dict(zip(self.spec.labels, key)), v
+
+
+@dataclass
+class HistogramData:
+    """Aggregated observations of one histogram series."""
+
+    count: int = 0
+    sum: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        #: Sparse log2 buckets: exponent -> observation count. A value
+        #: v > 0 lands in bucket floor(log2(v)), i.e. the half-open
+        #: range [2^e, 2^(e+1)); non-positive values land in bucket
+        #: None (a single underflow bucket).
+        self.buckets: dict[int | None, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        exp = int(math.floor(math.log2(value))) if value > 0 else None
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def bucket_bounds(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        The upper bound of exponent bucket ``e`` is ``2**(e + 1)``;
+        the underflow bucket maps to bound 0.
+        """
+        cumulative = 0
+        out: list[tuple[float, int]] = []
+        ordered = sorted(
+            self.buckets.items(),
+            key=lambda kv: -math.inf if kv[0] is None else kv[0],
+        )
+        for exp, n in ordered:
+            cumulative += n
+            bound = 0.0 if exp is None else float(2 ** (exp + 1))
+            out.append((bound, cumulative))
+        return out
+
+
+class Histogram:
+    """Log2-bucketed distribution of observations, per label set."""
+
+    def __init__(self, spec: MetricSpec) -> None:
+        self.spec = spec
+        self._values: dict[LabelKey, HistogramData] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        """Record ``value`` into the series selected by ``labels``."""
+        key = _label_key(self.spec, labels)
+        data = self._values.get(key)
+        if data is None:
+            data = self._values[key] = HistogramData()
+        data.observe(float(value))
+
+    def data(self, **labels: Any) -> HistogramData:
+        """The aggregate for one series (empty if never observed)."""
+        return self._values.get(
+            _label_key(self.spec, labels), HistogramData()
+        )
+
+    def series(self) -> Iterator[tuple[dict[str, str], HistogramData]]:
+        """Yield ``(labels, data)`` for every series."""
+        for key, v in sorted(self._values.items()):
+            yield dict(zip(self.spec.labels, key)), v
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricRegistry:
+    """A namespace of metrics validated against the catalog.
+
+    Metrics are created lazily on first access and cached, so
+    instrumented code can call :meth:`counter` etc. unconditionally.
+    Unknown names and kind mismatches raise
+    :class:`~repro.errors.ConfigError` — the catalog is the single
+    source of truth for what may be emitted.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: str):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            return metric
+        spec = METRICS.get(name)
+        if spec is None:
+            raise ConfigError(
+                f"metric {name!r} is not in the telemetry catalog "
+                "(repro.telemetry.names)"
+            )
+        if spec.kind != kind:
+            raise ConfigError(
+                f"metric {name!r} is a {spec.kind}, not a {kind}"
+            )
+        metric = _KINDS[kind](spec)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get(name, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get(name, "gauge")
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get(name, "histogram")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._metrics))
+
+    def snapshot(self) -> dict[str, Any]:
+        """All touched metrics as a plain JSON-ready dict."""
+        out: dict[str, Any] = {}
+        for name in self:
+            metric = self._metrics[name]
+            spec = metric.spec
+            series: list[dict[str, Any]] = []
+            if isinstance(metric, Histogram):
+                for labels, data in metric.series():
+                    series.append(
+                        {
+                            "labels": labels,
+                            "count": data.count,
+                            "sum": data.sum,
+                            "min": data.min if data.count else None,
+                            "max": data.max if data.count else None,
+                            "mean": data.mean,
+                            "buckets": [
+                                [bound, cum]
+                                for bound, cum in data.bucket_bounds()
+                            ],
+                        }
+                    )
+            else:
+                for labels, value in metric.series():
+                    series.append({"labels": labels, "value": value})
+            out[name] = {
+                "kind": spec.kind,
+                "unit": spec.unit,
+                "help": spec.help,
+                "series": series,
+            }
+        return out

@@ -6,6 +6,9 @@ three-pool arrangement the paper describes (compute / copy-in /
 copy-out), thread-to-core affinity in the style of
 ``KMP_AFFINITY=compact|scatter``, and an OpenMP-like loop-scheduling
 model used to quantify load imbalance in compute phases.
+
+Models the copy/compute pool split of Section 3, whose sizes Eqs. 1-5
+pick.
 """
 
 from repro.threads.affinity import AffinityPolicy, assign_threads

@@ -6,6 +6,9 @@
   distinct cores before any SMT sibling is used. This is what the
   paper's bandwidth-bound pools want — one stream per core saturates
   memory with the fewest threads.
+
+Models the KMP_AFFINITY settings of the paper's Section 5 experimental
+setup.
 """
 
 from __future__ import annotations

@@ -7,6 +7,9 @@ per-iteration costs, and reports the resulting makespan and load
 imbalance. It is used by the compute-phase model to discount the
 aggregate compute rate when work is uneven (e.g. the skewed merge
 sizes in reverse-sorted inputs).
+
+Models the OpenMP scheduling the Section 3 chunking framework relies
+on.
 """
 
 from __future__ import annotations

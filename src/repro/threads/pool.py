@@ -15,6 +15,8 @@ from typing import Iterable, Mapping
 from repro.errors import ConfigError, DegradedModeWarning
 from repro.simknl.flows import Flow
 from repro.simknl.node import KNLNode
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
 from repro.threads.affinity import AffinityPolicy, assign_threads
 
 
@@ -72,6 +74,12 @@ class PoolSet:
                     f"pool {pool.name!r} reuses threads {sorted(overlap)[:5]}"
                 )
             seen.update(pool.threads)
+        tel = _tm.current()
+        if tel.enabled:
+            gauge = tel.metrics.gauge(_tn.POOL_THREADS)
+            gauge.set(self.compute.size, role="compute")
+            gauge.set(self.copy_in.size, role="copy-in")
+            gauge.set(self.copy_out.size, role="copy-out")
 
     @property
     def total(self) -> int:
@@ -193,6 +201,18 @@ class PoolSet:
             else:
                 break
         compute_n = n - copy_in_n - copy_out_n
+        tel = _tm.current()
+        if tel.enabled:
+            m = tel.metrics
+            m.counter(_tn.POOL_RESPLITS_TOTAL).inc()
+            m.counter(_tn.POOL_THREADS_LOST_TOTAL).inc(len(lost_set))
+            tel.events.emit(
+                _tn.EVENT_POOL_RESPLIT,
+                compute=compute_n,
+                copy_in=copy_in_n,
+                copy_out=copy_out_n,
+                lost=len(lost_set),
+            )
         warnings.warn(
             f"lost {len(lost_set)} worker thread(s); re-split survivors "
             f"into compute={compute_n}, copy-in={copy_in_n}, "

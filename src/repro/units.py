@@ -3,6 +3,9 @@
 The paper reports bandwidths in GB/s (decimal gigabytes, as STREAM does)
 and data sizes in GB/GiB somewhat loosely; we standardise on *bytes* for
 all internal accounting and provide conversion helpers at the edges.
+
+The bandwidth constants trace to Table 2 and the data-set sizes to
+Table 1.
 """
 
 from __future__ import annotations

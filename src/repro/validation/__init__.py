@@ -11,6 +11,9 @@ The timed experiments rest on two analytic shortcuts:
 This package provides instrumented reference algorithms whose memory
 accesses feed the line-level cache, so claim (2) can be checked
 empirically at small scale (:func:`~repro.validation.dc_trace.measure_dc_levels`).
+
+Covers the Section 3 cost model's active-set split and the Section 1.1
+thrashing caveat.
 """
 
 from repro.validation.dc_trace import (

@@ -10,6 +10,9 @@ top ``log2(W / C)`` levels miss.
 The trace works at line granularity (whole-line touches per element
 range), so element counts in the hundreds of thousands stay fast in
 pure Python.
+
+Validates the active-set split behind the Section 3 timed plans and
+reproduces Section 1.1's direct-mapped thrashing pathology.
 """
 
 from __future__ import annotations

@@ -9,6 +9,8 @@ Two forms:
   test/example scale, in the input orders the paper evaluates
   (random, reverse-sorted) plus the standard extras (sorted,
   nearly-sorted, few-unique) used by the extended test suite.
+
+The input orders (random, reverse, ...) are those of Table 1.
 """
 
 from repro.workloads.generators import (

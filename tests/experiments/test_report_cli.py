@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import csv
+import io
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.errors import ConfigError
+from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.report import render_series, render_table, to_csv
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, SeriesSpec
 
 
 @pytest.fixture
@@ -37,6 +41,33 @@ class TestRenderTable:
         r = ExperimentResult("d", "t", ["a"], [])
         assert "a" in render_table(r)
 
+    def test_empty_rows_header_sets_widths(self):
+        r = ExperimentResult("d", "t", ["alpha", "b"], [])
+        lines = render_table(r).splitlines()
+        header, sep = lines[2], lines[3]
+        assert header == "alpha | b"
+        assert sep == "------+--"
+
+    def test_long_float_widens_column(self):
+        r = ExperimentResult(
+            "d", "t", ["x"],
+            [{"x": 123456789.123456}, {"x": 1.0}],
+        )
+        lines = render_table(r).splitlines()
+        # abs >= 100 renders with one decimal; all rows align to it.
+        assert "123456789.1" in lines[4]
+        widths = {len(line) for line in lines[2:6]}
+        assert len(widths) == 1
+
+    def test_columns_aligned_with_mixed_widths(self):
+        r = ExperimentResult(
+            "d", "t", ["name", "v"],
+            [{"name": "a", "v": 1}, {"name": "longer-name", "v": 22}],
+        )
+        lines = render_table(r).splitlines()
+        positions = {line.index("|") for line in lines[2:] if "|" in line}
+        assert len(positions) == 1
+
 
 class TestRenderSeries:
     def test_bars_scale(self, result):
@@ -54,6 +85,25 @@ class TestRenderSeries:
         with pytest.raises(ConfigError):
             render_series(r, "x", ["y"])
 
+    def test_single_point_series(self):
+        r = ExperimentResult("d", "t", ["x", "y"], [{"x": "only", "y": 3.0}])
+        text = render_series(r, "x", ["y"], width=10)
+        bars = [l for l in text.splitlines() if "|" in l]
+        # The lone point is its own maximum: a full-width bar.
+        assert len(bars) == 1
+        assert bars[0].count("#") == 10
+        assert "only" in bars[0]
+
+    def test_non_numeric_rows_skipped(self):
+        r = ExperimentResult(
+            "d", "t", ["x", "y"],
+            [{"x": "a", "y": 2.0}, {"x": "b", "y": "n/a"}],
+        )
+        bars = [
+            l for l in render_series(r, "x", ["y"]).splitlines() if "|" in l
+        ]
+        assert len(bars) == 1
+
 
 class TestCsv:
     def test_roundtrip(self, result):
@@ -61,6 +111,25 @@ class TestCsv:
         lines = text.strip().splitlines()
         assert lines[0] == "x,y"
         assert lines[1] == "1,2.5"
+
+    def test_roundtrip_through_csv_module(self, result):
+        parsed = list(csv.DictReader(io.StringIO(to_csv(result))))
+        assert parsed == [
+            {"x": "1", "y": "2.5"},
+            {"x": "2", "y": "5.0"},
+        ]
+
+    def test_quoting_of_commas(self):
+        r = ExperimentResult(
+            "d", "t", ["note"], [{"note": "a, with comma"}]
+        )
+        parsed = list(csv.DictReader(io.StringIO(to_csv(r))))
+        assert parsed[0]["note"] == "a, with comma"
+
+    def test_missing_cells_empty(self):
+        r = ExperimentResult("d", "t", ["a", "b"], [{"a": 1}])
+        parsed = list(csv.DictReader(io.StringIO(to_csv(r))))
+        assert parsed[0] == {"a": "1", "b": ""}
 
 
 class TestResultColumn:
@@ -100,3 +169,35 @@ class TestCli:
     def test_main_chart_mode(self, capsys):
         assert main(["figure7", "--chart"]) == 0
         assert "#" in capsys.readouterr().out
+
+    def test_chart_falls_back_to_table_without_spec(self, capsys):
+        # table2 declares no series_spec; --chart must not crash.
+        assert main(["table2", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "S_copy" in out and "#" not in out
+
+
+class TestSeriesSpecs:
+    CHARTED = (
+        "figure6", "figure7", "figure8",
+        "nvm", "hybrid", "energy", "faults",
+    )
+
+    @pytest.mark.parametrize("name", CHARTED)
+    def test_chart_drivers_declare_specs(self, name):
+        spec = getattr(ALL_EXPERIMENTS[name], "series_spec", None)
+        assert isinstance(spec, SeriesSpec), (
+            f"driver {name!r} should carry a series_spec attribute"
+        )
+        assert spec.x and spec.ys
+
+    def test_specs_name_real_columns(self):
+        # The spec's columns must exist in the driver's own output, so
+        # --chart can never fail on a column mismatch. Checked on the
+        # cheapest charted driver; the others are covered by the
+        # driver tests exercising their column sets.
+        result = ALL_EXPERIMENTS["figure7"]()
+        spec = ALL_EXPERIMENTS["figure7"].series_spec
+        assert spec.x in result.columns
+        for y in spec.ys:
+            assert y in result.columns

@@ -22,6 +22,7 @@ SCRIPTS = [
     ("three_level_memory.py", ["25"]),
     ("trace_pipeline.py", []),
     ("fault_injection.py", ["0.5"]),
+    ("telemetry_tour.py", []),
 ]
 
 

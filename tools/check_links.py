@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Check intra-repo Markdown links.
+
+Scans every ``*.md`` file in the repository (skipping dot-directories)
+for inline links and images, and verifies that every non-external
+target resolves to a real file or directory. For links into Markdown
+files, ``#fragment`` anchors are checked against the target's heading
+slugs (GitHub slugging rules). External schemes (http/https/mailto)
+are ignored — CI must not depend on the network.
+
+Zero dependencies; exits non-zero listing every broken link:
+
+    python tools/check_links.py [ROOT]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # strip code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # inline links
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(md_path: Path) -> set[str]:
+    text = FENCE_RE.sub("", md_path.read_text(encoding="utf-8"))
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for match in HEADING_RE.finditer(text):
+        slug = slugify(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md_path: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    text = FENCE_RE.sub("", md_path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        resolved = (
+            md_path if not path_part
+            else (md_path.parent / path_part).resolve()
+        )
+        rel = md_path.relative_to(root)
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link -> {target}")
+            continue
+        if fragment and resolved.suffix == ".md":
+            if fragment not in anchors_of(resolved):
+                errors.append(f"{rel}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else (
+        Path(__file__).resolve().parent.parent
+    )
+    md_files = sorted(
+        p for p in root.rglob("*.md")
+        if not any(part.startswith(".") for part in p.parts)
+    )
+    errors: list[str] = []
+    for md in md_files:
+        errors.extend(check_file(md, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(md_files)} Markdown files: "
+          f"{len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
