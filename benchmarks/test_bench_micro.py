@@ -62,6 +62,35 @@ def test_bench_multiway_merge(benchmark):
     assert len(out) == 800_000
 
 
+def test_bench_losertree_merge(benchmark):
+    """Galloping loser-tree drain over clustered runs.
+
+    Runs with mostly-disjoint value ranges are the megachunk shape
+    MLM-sort's final merge sees (each chunk covers one slice of the
+    key space); the galloping drain moves whole leading blocks per
+    tournament round instead of popping elements one at a time.
+    """
+    rng = np.random.default_rng(7)
+    runs = []
+    for i in range(8):
+        base = i * (1 << 30)
+        runs.append(
+            np.sort(
+                rng.integers(
+                    base, base + (1 << 29), 50_000 + 500 * i, dtype=np.int64
+                )
+            )
+        )
+    total = sum(len(r) for r in runs)
+    out = benchmark.pedantic(
+        lambda: multiway_merge(runs, strategy="losertree"),
+        rounds=5,
+        iterations=1,
+    )
+    assert len(out) == total
+    assert np.all(np.diff(out) >= 0)
+
+
 def test_bench_introsort(benchmark):
     rng = np.random.default_rng(2)
     base = rng.integers(0, 1 << 20, 2_000, dtype=np.int64)

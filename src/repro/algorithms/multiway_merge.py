@@ -33,6 +33,13 @@ class LoserTree:
 
     Build once, then :meth:`pop` yields the global minimum and
     replays the path — ``log2 k`` comparisons per element.
+    :meth:`merge` additionally *gallops*: whenever the winning run
+    leads the runner-up, the whole leading block is located with one
+    ``searchsorted`` and copied as a slice instead of popped
+    element-wise.
+
+    Run heads are cached as Python scalars (``_heads``) so the
+    tournament comparisons avoid per-element NumPy scalar boxing.
     """
 
     def __init__(self, runs: list[np.ndarray]) -> None:
@@ -41,6 +48,9 @@ class LoserTree:
         self.runs = runs
         self.k = len(runs)
         self.pos = [0] * self.k
+        self._heads = [
+            r[0].item() if len(r) else math.inf for r in runs
+        ]
         size = 1
         while size < self.k:
             size *= 2
@@ -52,9 +62,32 @@ class LoserTree:
 
     def _key(self, run: int):
         """Current head of ``run`` or +inf when exhausted."""
-        if run < 0 or run >= self.k or self.pos[run] >= len(self.runs[run]):
+        if run < 0:
             return math.inf
-        return self.runs[run][self.pos[run]]
+        return self._heads[run]
+
+    def _advance(self, run: int, steps: int = 1) -> None:
+        """Consume ``steps`` elements from ``run`` and refresh its head."""
+        r = self.runs[run]
+        p = self.pos[run] + steps
+        self.pos[run] = p
+        self._heads[run] = r[p].item() if p < len(r) else math.inf
+
+    def _replay(self, run: int) -> None:
+        """Replay the tournament path from ``run``'s leaf to the root."""
+        node = (self._size + run) // 2
+        current = run
+        tree = self._tree
+        heads = self._heads
+        while node >= 1:
+            loser = tree[node]
+            if loser >= 0 and heads[loser] < (
+                math.inf if current < 0 else heads[current]
+            ):
+                tree[node] = current
+                current = loser
+            node //= 2
+        tree[0] = current
 
     def _rebuild(self) -> None:
         size = self._size
@@ -89,26 +122,70 @@ class LoserTree:
         if self._key(winner) == math.inf:
             raise ConfigError("pop from exhausted LoserTree")
         value = self.runs[winner][self.pos[winner]]
-        self.pos[winner] += 1
-        # Replay the path from the winner's leaf to the root.
-        node = (self._size + winner) // 2
-        current = winner
-        while node >= 1:
-            loser = self._tree[node]
-            if self._key(loser) < self._key(current):
-                self._tree[node] = current
-                current = loser
-            node //= 2
-        self._tree[0] = current
+        self._advance(winner)
+        self._replay(winner)
         return value
 
     def merge(self) -> np.ndarray:
-        """Drain the tree into one sorted array."""
+        """Drain the tree into one sorted array.
+
+        Gallops: each round takes the tournament winner ``w``, finds
+        the smallest head among the *other* runs (the challenger), and
+        drains from ``w`` the whole prefix ``<= challenger`` located
+        with one ``searchsorted``. Equal elements go to the winner,
+        which is safe because the output carries values only. One
+        block costs O(k + log len) instead of O(block * log k).
+        """
         total = sum(len(r) for r in self.runs) - sum(self.pos)
         dtype = self.runs[0].dtype
         out = np.empty(total, dtype=dtype)
-        for i in range(total):
-            out[i] = self.pop()
+        filled = 0
+        runs = self.runs
+        pos = self.pos
+        heads = self._heads
+        tree = self._tree
+        size = self._size
+        while filled < total:
+            winner = tree[0]
+            run = runs[winner]
+            p = pos[winner]
+            # The runner-up is the smallest head among the losers on
+            # the winner's leaf-to-root path — O(log k), no full scan.
+            challenger = math.inf
+            node = (size + winner) // 2
+            while node >= 1:
+                loser = tree[node]
+                if loser >= 0 and heads[loser] < challenger:
+                    challenger = heads[loser]
+                node //= 2
+            n_run = len(run)
+            q = p + 1
+            if challenger == math.inf:
+                # Every other run is exhausted: bulk-copy the rest.
+                m = n_run - p
+                out[filled : filled + m] = run[p:]
+                filled += m
+                pos[winner] = n_run
+                heads[winner] = math.inf
+            elif q >= n_run:
+                out[filled] = heads[winner]
+                filled += 1
+                pos[winner] = q
+                heads[winner] = math.inf
+            elif (nxt := run[q].item()) > challenger:
+                # Single-element block: stay scalar, skip searchsorted.
+                out[filled] = heads[winner]
+                filled += 1
+                pos[winner] = q
+                heads[winner] = nxt
+            else:
+                m = int(
+                    np.searchsorted(run[p:], challenger, side="right")
+                )
+                out[filled : filled + m] = run[p : p + m]
+                filled += m
+                self._advance(winner, m)
+            self._replay(winner)
         return out
 
 
@@ -164,8 +241,10 @@ def multiseq_partition(runs: list[np.ndarray], rank: int) -> list[int]:
     such that every selected element <= every unselected element.
 
     This is the decomposition GNU's parallel multiway merge uses to
-    hand each thread an independent slice of the output. Implemented
-    as a binary search on the value domain with rank balancing.
+    hand each thread an independent slice of the output. Integer
+    inputs bisect the value domain; other dtypes (floats) select the
+    rank-th value directly with ``np.partition``, after which both
+    paths share the strictly-below + tie-distribution arithmetic.
     """
     if not runs:
         raise ConfigError("multiseq_partition needs at least one run")
@@ -176,23 +255,25 @@ def multiseq_partition(runs: list[np.ndarray], rank: int) -> list[int]:
         return [0] * len(runs)
     if rank == total:
         return [len(r) for r in runs]
-    if not np.issubdtype(runs[0].dtype, np.integer):
-        raise ConfigError(
-            "multiseq_partition's value-domain bisection requires an "
-            "integer dtype (the paper's workloads are int64)"
-        )
-    # Binary search the smallest value v such that
-    # count(elements <= v) >= rank, using 'right' positions.
     candidates = np.concatenate([r for r in runs if len(r)])
-    lo_v, hi_v = candidates.min(), candidates.max()
-    while lo_v < hi_v:
-        mid = lo_v + (hi_v - lo_v) // 2
-        count = sum(int(np.searchsorted(r, mid, side="right")) for r in runs)
-        if count >= rank:
-            hi_v = mid
-        else:
-            lo_v = mid + 1
-    v = lo_v
+    if np.issubdtype(candidates.dtype, np.integer):
+        # Binary search the smallest value v such that
+        # count(elements <= v) >= rank, using 'right' positions.
+        lo_v, hi_v = candidates.min(), candidates.max()
+        while lo_v < hi_v:
+            mid = lo_v + (hi_v - lo_v) // 2
+            count = sum(
+                int(np.searchsorted(r, mid, side="right")) for r in runs
+            )
+            if count >= rank:
+                hi_v = mid
+            else:
+                lo_v = mid + 1
+        v = lo_v
+    else:
+        # Selection: the rank-th smallest value is exactly the
+        # smallest v with count(<= v) >= rank, no bisection needed.
+        v = np.partition(candidates, rank - 1)[rank - 1]
     # Take all elements strictly below v, then distribute ties.
     below = [int(np.searchsorted(r, v, side="left")) for r in runs]
     taken = sum(below)

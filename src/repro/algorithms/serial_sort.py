@@ -27,6 +27,12 @@ from repro.errors import ConfigError
 #: Partitions at or below this size use insertion sort.
 INSERTION_THRESHOLD = 16
 
+#: Partitions at or below this size are finished with NumPy's
+#: in-place sort instead of recursing further in Python. The Python
+#: layers above keep the introsort structure (pivoting, depth limit)
+#: observable while the leaves run at C speed.
+NUMPY_LEAF_THRESHOLD = 2048
+
 
 def insertion_sort(arr: np.ndarray, lo: int = 0, hi: int | None = None) -> None:
     """In-place insertion sort of ``arr[lo:hi]``."""
@@ -99,15 +105,22 @@ def _partition(arr: np.ndarray, lo: int, hi: int) -> int:
         j -= 1
 
 
-def introsort(arr: np.ndarray) -> np.ndarray:
+def introsort(arr: np.ndarray, leaf_threshold: int | None = None) -> np.ndarray:
     """In-place introsort; returns ``arr`` for convenience.
 
     Matches ``std::sort``'s structure: quicksort with a
     ``2 * floor(log2 n)`` depth limit, heapsort beyond it, insertion
-    sort for small partitions.
+    sort for tiny partitions. Partitions at or below
+    ``leaf_threshold`` (default :data:`NUMPY_LEAF_THRESHOLD`) are
+    finished by NumPy's in-place introsort — slices of ``arr`` are
+    views, so the sort happens in place; the result is identical and
+    the Python-level recursion stays shallow. Pass
+    ``leaf_threshold=0`` for the fully per-element reference path.
     """
     if arr.ndim != 1:
         raise ConfigError("introsort expects a one-dimensional array")
+    if leaf_threshold is None:
+        leaf_threshold = NUMPY_LEAF_THRESHOLD
     n = len(arr)
     if n < 2:
         return arr
@@ -118,6 +131,9 @@ def introsort(arr: np.ndarray) -> np.ndarray:
         size = hi - lo
         if size <= INSERTION_THRESHOLD:
             insertion_sort(arr, lo, hi)
+            continue
+        if size <= leaf_threshold:
+            arr[lo:hi].sort(kind="quicksort")
             continue
         if depth == 0:
             _heapsort(arr, lo, hi)

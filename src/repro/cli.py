@@ -50,6 +50,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="render figures as ASCII series charts instead of tables",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan sweep cells out across N worker processes (drivers "
+            "that support it; results are identical to a serial run). "
+            "Ignored while --metrics/--events collect telemetry, "
+            "which requires in-process execution"
+        ),
+    )
+    parser.add_argument(
         "--metrics",
         metavar="PATH",
         help=(
@@ -95,7 +107,11 @@ def _run_all(args) -> None:
         else [args.experiment]
     )
     for name in names:
-        _emit(ALL_EXPERIMENTS[name](), args)
+        driver = ALL_EXPERIMENTS[name]
+        kwargs = {}
+        if args.jobs > 1 and getattr(driver, "supports_jobs", False):
+            kwargs["jobs"] = args.jobs
+        _emit(driver(**kwargs), args)
 
 
 def main(argv: list[str] | None = None) -> int:

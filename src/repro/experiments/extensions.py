@@ -35,6 +35,7 @@ from repro.experiments.runner import (
     SeriesSpec,
     VARIANTS,
     sort_variant_run,
+    sweep_map,
 )
 from repro.model.designspace import (
     crossover_passes,
@@ -515,11 +516,54 @@ def run_adaptive(
     )
 
 
+def _fault_cell(
+    n: int, megachunk: int, seed: int, intensity: float
+) -> tuple[float, float, int, bool]:
+    """One fault-intensity cell: (resilient_s, monolithic_s,
+    recovery_events, degraded_to_ddr)."""
+    from repro.algorithms.mlm_sort import (
+        MLMSortConfig,
+        resilient_mlm_sort_plan_run,
+    )
+    from repro.algorithms.parallel_sort import gnu_sort_plan
+    from repro.errors import DegradedModeWarning
+    from repro.faults import FaultPlan
+
+    cfg = MLMSortConfig(
+        n=n,
+        megachunk_elements=megachunk,
+        mode=UsageMode.FLAT,
+        threads=256,
+    )
+    flat_node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    plan = FaultPlan.degraded_mcdram(seed=seed, intensity=intensity)
+    inj = plan.injector()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedModeWarning)
+        rep = resilient_mlm_sort_plan_run(flat_node, cfg, injector=inj)
+
+    cache_node = KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
+    gnu_plan = gnu_sort_plan(cache_node, n, "random", UsageMode.CACHE)
+    gnu = cache_node.run(
+        gnu_plan,
+        injector=FaultPlan.degraded_mcdram(
+            seed=seed, intensity=intensity
+        ).injector(),
+    )
+    return (
+        rep.elapsed,
+        gnu.elapsed,
+        inj.counters.recovery_events,
+        rep.degraded_mode,
+    )
+
+
 def run_faults(
     n: int = 2_000_000_000,
     megachunk: int = 250_000_000,
     seed: int = 42,
     intensities: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.9),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Degradation report: resilient chunked MLM-sort vs monolithic GNU.
 
@@ -533,53 +577,30 @@ def run_faults(
     GNU-cache baseline has no such escape: every byte keeps streaming
     through the degraded cache, and its time falls off a cliff.
     """
-    from repro.algorithms.mlm_sort import (
-        MLMSortConfig,
-        resilient_mlm_sort_plan_run,
-    )
-    from repro.algorithms.parallel_sort import gnu_sort_plan
-    from repro.errors import DegradedModeWarning
-    from repro.faults import FaultPlan
-
+    cells = [
+        (n, megachunk, seed, intensity) for intensity in intensities
+    ]
+    results = sweep_map(_fault_cell, cells, jobs=jobs)
     rows = []
     base_resilient = base_gnu = None
-    for intensity in intensities:
-        cfg = MLMSortConfig(
-            n=n,
-            megachunk_elements=megachunk,
-            mode=UsageMode.FLAT,
-            threads=256,
-        )
-        flat_node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
-        plan = FaultPlan.degraded_mcdram(seed=seed, intensity=intensity)
-        inj = plan.injector()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DegradedModeWarning)
-            rep = resilient_mlm_sort_plan_run(flat_node, cfg, injector=inj)
-
-        cache_node = KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
-        gnu_plan = gnu_sort_plan(cache_node, n, "random", UsageMode.CACHE)
-        gnu = cache_node.run(
-            gnu_plan,
-            injector=FaultPlan.degraded_mcdram(
-                seed=seed, intensity=intensity
-            ).injector(),
-        )
+    for intensity, (res_s, gnu_s, recoveries, degraded) in zip(
+        intensities, results
+    ):
         if intensity == 0.0:
-            base_resilient, base_gnu = rep.elapsed, gnu.elapsed
+            base_resilient, base_gnu = res_s, gnu_s
         rows.append(
             {
                 "intensity": intensity,
-                "resilient_s": rep.elapsed,
-                "monolithic_s": gnu.elapsed,
+                "resilient_s": res_s,
+                "monolithic_s": gnu_s,
                 "resilient_slowdown": (
-                    rep.elapsed / base_resilient if base_resilient else 1.0
+                    res_s / base_resilient if base_resilient else 1.0
                 ),
                 "monolithic_slowdown": (
-                    gnu.elapsed / base_gnu if base_gnu else 1.0
+                    gnu_s / base_gnu if base_gnu else 1.0
                 ),
-                "recovery_events": inj.counters.recovery_events,
-                "degraded_to_ddr": rep.degraded_mode,
+                "recovery_events": recoveries,
+                "degraded_to_ddr": degraded,
             }
         )
     return ExperimentResult(
@@ -608,22 +629,24 @@ def run_faults(
     )
 
 
-def run_energy(n: int = 2_000_000_000) -> ExperimentResult:
+def _energy_cell(variant: str, n: int) -> dict:
+    """One variant's energy report row."""
+    res = sort_variant_run(variant, n, "random")
+    rep = EnergyModel().report(res)
+    return {
+        "algorithm": variant,
+        "seconds": res.elapsed,
+        "energy_j": rep.total_joules,
+        "edp_js": rep.energy_delay_product,
+        "ddr_dynamic_j": rep.dynamic_joules.get("ddr", 0.0),
+    }
+
+
+def run_energy(n: int = 2_000_000_000, jobs: int = 1) -> ExperimentResult:
     """Energy and energy-delay product across the Table 1 variants."""
-    model = EnergyModel()
-    rows = []
-    for variant in VARIANTS:
-        res = sort_variant_run(variant, n, "random")
-        rep = model.report(res)
-        rows.append(
-            {
-                "algorithm": variant,
-                "seconds": res.elapsed,
-                "energy_j": rep.total_joules,
-                "edp_js": rep.energy_delay_product,
-                "ddr_dynamic_j": rep.dynamic_joules.get("ddr", 0.0),
-            }
-        )
+    rows = sweep_map(
+        _energy_cell, [(variant, n) for variant in VARIANTS], jobs=jobs
+    )
     return ExperimentResult(
         experiment="energy",
         title="Extension: energy comparison (2B random elements)",
@@ -648,3 +671,5 @@ run_energy.series_spec = SeriesSpec("algorithm", ("energy_j",))
 run_faults.series_spec = SeriesSpec(
     "intensity", ("resilient_s", "monolithic_s")
 )
+run_energy.supports_jobs = True
+run_faults.supports_jobs = True

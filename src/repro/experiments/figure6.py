@@ -12,6 +12,7 @@ from repro.experiments.runner import (
     ExperimentResult,
     SeriesSpec,
     sort_variant_seconds,
+    sweep_map,
 )
 
 
@@ -19,15 +20,23 @@ def run_figure6(
     cost: SortCostModel | None = None,
     sizes: tuple[int, ...] = (2_000_000_000, 4_000_000_000, 6_000_000_000),
     orders: tuple[str, ...] = ("random", "reverse"),
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Speedup of each variant over GNU-flat, per size and order."""
+    cells = [
+        (variant, n, order, cost)
+        for order in orders
+        for n in sizes
+        for variant in VARIANTS
+    ]
+    times = dict(zip(cells, sweep_map(sort_variant_seconds, cells, jobs=jobs)))
     rows = []
     for order in orders:
         for n in sizes:
-            base = sort_variant_seconds("GNU-flat", n, order, cost)
+            base = times[("GNU-flat", n, order, cost)]
             paper_base = TABLE1_SECONDS.get((n, order, "GNU-flat"))
             for variant in VARIANTS:
-                sim = sort_variant_seconds(variant, n, order, cost)
+                sim = times[(variant, n, order, cost)]
                 paper = TABLE1_SECONDS.get((n, order, variant))
                 rows.append(
                     {
@@ -60,3 +69,4 @@ def run_figure6(
 
 
 run_figure6.series_spec = SeriesSpec("algorithm", ("speedup",))
+run_figure6.supports_jobs = True

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
 from repro.core.modes import UsageMode
-from repro.experiments.runner import ExperimentResult, SeriesSpec
+from repro.experiments.runner import ExperimentResult, SeriesSpec, sweep_map
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 
 #: Default chunk sizes swept, in elements (0.125B .. 6B).
@@ -50,17 +50,27 @@ def run_figure7(
     cost: SortCostModel | None = None,
     n: int = 6_000_000_000,
     chunks: tuple[int, ...] = DEFAULT_CHUNKS,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Time vs chunk size for MLM-sort in flat, hybrid, and implicit."""
-    rows = []
+    cells: list[tuple] = []
+    labels: list[tuple[int, str]] = []
     for mega in chunks:
-        row: dict = {"chunk_elements": mega}
         if mega <= FLAT_CHUNK_LIMIT:
-            row["flat_s"] = _variant_time(UsageMode.FLAT, n, mega, cost)
+            cells.append((UsageMode.FLAT, n, mega, cost))
+            labels.append((mega, "flat_s"))
         if mega <= HYBRID_CHUNK_LIMIT:
-            row["hybrid_s"] = _variant_time(UsageMode.HYBRID, n, mega, cost)
-        row["implicit_s"] = _variant_time(UsageMode.IMPLICIT, n, mega, cost)
-        rows.append(row)
+            cells.append((UsageMode.HYBRID, n, mega, cost))
+            labels.append((mega, "hybrid_s"))
+        cells.append((UsageMode.IMPLICIT, n, mega, cost))
+        labels.append((mega, "implicit_s"))
+    times = sweep_map(_variant_time, cells, jobs=jobs)
+    by_chunk: dict[int, dict] = {
+        mega: {"chunk_elements": mega} for mega in chunks
+    }
+    for (mega, column), t in zip(labels, times):
+        by_chunk[mega][column] = t
+    rows = [by_chunk[mega] for mega in chunks]
     return ExperimentResult(
         experiment="figure7",
         title=f"Figure 7: time vs chunk size, {n} int64 elements",
@@ -78,3 +88,4 @@ def run_figure7(
 run_figure7.series_spec = SeriesSpec(
     "chunk_elements", ("flat_s", "implicit_s")
 )
+run_figure7.supports_jobs = True

@@ -9,7 +9,7 @@ the buffered pipeline on the simulated node.
 from __future__ import annotations
 
 from repro.algorithms.merge_bench import MergeBenchConfig, run_merge_bench
-from repro.experiments.runner import ExperimentResult, SeriesSpec
+from repro.experiments.runner import ExperimentResult, SeriesSpec, sweep_map
 from repro.model.analytic import predict
 from repro.model.params import ModelParams
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
@@ -18,33 +18,42 @@ DEFAULT_REPEATS = (1, 2, 4, 8, 16, 32, 64)
 DEFAULT_COPY_THREADS = (1, 2, 4, 8, 16, 32)
 
 
+def _figure8_cell(r: int, p: int, total_threads: int) -> tuple[float, float]:
+    """One (repeats, copy-threads) grid cell: (model_s, empirical_s)."""
+    params = ModelParams()
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    p_comp = total_threads - 2 * p
+    model_t = predict(params, p_comp, p, p, passes=r).t_total
+    emp_t = run_merge_bench(
+        node,
+        MergeBenchConfig(
+            repeats=r, copy_in_threads=p, total_threads=total_threads
+        ),
+    ).elapsed
+    return model_t, emp_t
+
+
 def run_figure8(
     repeats: tuple[int, ...] = DEFAULT_REPEATS,
     copy_threads: tuple[int, ...] = DEFAULT_COPY_THREADS,
     total_threads: int = 256,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Model (8a) and empirical (8b) time curves."""
-    params = ModelParams()
-    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
-    rows = []
-    for r in repeats:
-        for p in copy_threads:
-            p_comp = total_threads - 2 * p
-            model_t = predict(params, p_comp, p, p, passes=r).t_total
-            emp_t = run_merge_bench(
-                node,
-                MergeBenchConfig(
-                    repeats=r, copy_in_threads=p, total_threads=total_threads
-                ),
-            ).elapsed
-            rows.append(
-                {
-                    "repeats": r,
-                    "copy_threads": p,
-                    "model_s": model_t,
-                    "empirical_s": emp_t,
-                }
-            )
+    cells = [
+        (r, p, total_threads) for r in repeats for p in copy_threads
+    ]
+    rows = [
+        {
+            "repeats": r,
+            "copy_threads": p,
+            "model_s": model_t,
+            "empirical_s": emp_t,
+        }
+        for (r, p, _), (model_t, emp_t) in zip(
+            cells, sweep_map(_figure8_cell, cells, jobs=jobs)
+        )
+    ]
     return ExperimentResult(
         experiment="figure8",
         title="Figure 8: merge benchmark time vs copy threads "
@@ -61,3 +70,4 @@ def run_figure8(
 run_figure8.series_spec = SeriesSpec(
     "copy_threads", ("model_s", "empirical_s")
 )
+run_figure8.supports_jobs = True

@@ -3,13 +3,19 @@
 :func:`sort_variant_seconds` maps the paper's algorithm labels
 (GNU-flat, GNU-cache, MLM-ddr, MLM-sort, MLM-implicit) to the right
 node configuration and timed plan; :class:`ExperimentResult` is the
-uniform record every driver returns.
+uniform record every driver returns; :func:`sweep_map` fans a sweep's
+independent cells out across worker processes with deterministic
+ordering and config-hash memoization.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.errors import AllocationError, ConfigError
 from repro.algorithms.costs import SortCostModel
@@ -69,6 +75,87 @@ class ExperimentResult:
         if name not in self.columns:
             raise ConfigError(f"unknown column {name!r}")
         return [r.get(name) for r in self.rows]
+
+
+def config_hash(payload: Any) -> str:
+    """Deterministic hash of an experiment cell's configuration.
+
+    Canonicalizes ``payload`` through JSON (sorted keys, ``repr`` for
+    non-JSON types — dataclass reprs are stable and carry every field)
+    and returns a short SHA-256 hex digest. Two calls with equal
+    configurations hash identically across processes and sessions,
+    which is what makes :func:`sweep_map`'s memo safe to share.
+    """
+    canonical = json.dumps(
+        payload, sort_keys=True, default=repr, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+#: Process-wide memo for :func:`sweep_map` (config hash -> result).
+_SWEEP_MEMO: dict[str, Any] = {}
+_SWEEP_MEMO_MAX = 65536
+
+
+def sweep_map(
+    fn: Callable[..., Any],
+    cells: Sequence[tuple],
+    jobs: int = 1,
+    memo: dict[str, Any] | None = None,
+) -> list[Any]:
+    """Map ``fn`` over independent sweep cells, optionally in parallel.
+
+    Parameters
+    ----------
+    fn:
+        A module-level (picklable) cell function; called as
+        ``fn(*cell)``.
+    cells:
+        The argument tuples, one per cell. Results come back in cell
+        order regardless of completion order, so a parallel sweep is
+        bit-identical to the serial one.
+    jobs:
+        Worker processes. ``1`` (the default) runs serially in this
+        process.
+    memo:
+        Optional explicit memo dict (config hash -> result). Defaults
+        to a process-wide cache, so re-running a sweep with overlapping
+        cells (e.g. ``repro-knl all``) skips finished work.
+
+    Cells are memoized on ``config_hash((qualname, cell))``: equal
+    configurations are computed once, including across drivers in the
+    same process.
+
+    While a telemetry session is active the sweep runs every cell
+    serially in-process and bypasses the memo: child processes cannot
+    feed the parent's metric registry, and a memo hit would skip the
+    cell's instrumentation side effects — either way the collected
+    metrics would silently diverge from a plain serial run.
+    """
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if _tm.current().enabled:
+        return [fn(*cell) for cell in cells]
+    if memo is None:
+        memo = _SWEEP_MEMO
+    name = getattr(fn, "__qualname__", repr(fn))
+    keys = [config_hash((name, cell)) for cell in cells]
+    results: list[Any] = [memo.get(k) for k in keys]
+    pending = [i for i, k in enumerate(keys) if k not in memo]
+    if pending:
+        if jobs > 1:
+            workers = min(jobs, len(pending), os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers) as ex:
+                futures = [ex.submit(fn, *cells[i]) for i in pending]
+                for i, fut in zip(pending, futures):
+                    results[i] = fut.result()
+        else:
+            for i in pending:
+                results[i] = fn(*cells[i])
+        if len(memo) < _SWEEP_MEMO_MAX:
+            for i in pending:
+                memo[keys[i]] = results[i]
+    return results
 
 
 def node_for_variant(variant: str) -> KNLNode:

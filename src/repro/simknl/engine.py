@@ -150,6 +150,7 @@ class Engine:
         resources: Iterable[Resource],
         record_events: bool = True,
         injector: FaultInjector | None = None,
+        memoize_rates: bool = True,
     ) -> None:
         self.resources: dict[str, Resource] = {}
         for r in resources:
@@ -159,6 +160,14 @@ class Engine:
         self._nominal: dict[str, Resource] = dict(self.resources)
         self.record_events = record_events
         self.injector = injector
+        #: Water-filling solutions keyed by (resource, live-flow)
+        #: signature. Sweeps re-run structurally identical phases
+        #: thousands of times; the solve is skipped for every repeat.
+        #: ``memoize_rates=False`` keeps the direct reference path
+        #: (the property tests hold the two bit-identical).
+        self.memoize_rates = memoize_rates
+        self._rate_cache: dict[tuple, list[float]] = {}
+        self._res_sig: tuple | None = None
         self._phase_hooks: list[
             Callable[["Engine", int, Phase], float | None]
         ] = []
@@ -192,12 +201,47 @@ class Engine:
         nominal = self._nominal[name]
         capacity = nominal.capacity * max(1.0 - fraction, 1e-9)
         self.resources[name] = Resource(name, capacity)
+        self._res_sig = None
         return True
 
     def restore_resource(self, name: str) -> None:
         """Return resource ``name`` to its nominal capacity."""
         if name in self._nominal:
             self.resources[name] = self._nominal[name]
+            self._res_sig = None
+
+    # ---- rate allocation -------------------------------------------------
+
+    #: Bound on memoized solutions; reached only by adversarial plans
+    #: (every phase structurally unique), at which point the cache is
+    #: dropped wholesale rather than LRU-tracked.
+    _RATE_CACHE_MAX = 4096
+
+    def _allocate(self, live: list[Flow]) -> list[float]:
+        """Max-min rates for ``live``, positionally, memoized on structure.
+
+        The solution depends only on the current resource capacities
+        and each live flow's ``(threads, per_thread_rate, resources)``
+        signature — not on identity, names, or bytes remaining — so a
+        cached solution is positionally bit-identical to a re-solve.
+        """
+        if not self.memoize_rates:
+            rates = allocate_rates(live, self.resources)
+            return [rates[id(f)] for f in live]
+        res_sig = self._res_sig
+        if res_sig is None:
+            res_sig = self._res_sig = tuple(
+                (name, self.resources[name].capacity)
+                for name in sorted(self.resources)
+            )
+        key = (res_sig, tuple(f.signature for f in live))
+        cached = self._rate_cache.get(key)
+        if cached is None:
+            rates = allocate_rates(live, self.resources)
+            if len(self._rate_cache) >= self._RATE_CACHE_MAX:
+                self._rate_cache.clear()
+            self._rate_cache[key] = cached = [rates[id(f)] for f in live]
+        return cached
 
     def _apply_phase_faults(
         self,
@@ -345,40 +389,39 @@ class Engine:
                 events.append((at, f"{phase.name}:{f.name} done"))
 
         # Work on copies of byte counters so plans can be re-run.
-        remaining = {id(f): f.bytes_total for f in phase.flows}
-        live = [f for f in phase.flows if remaining[id(f)] > 0]
+        live = [f for f in phase.flows if f.bytes_total > 0]
+        remaining = [f.bytes_total for f in live]
         if phase.static_rates:
             if not live:
                 return 0.0
-            rates = allocate_rates(live, self.resources)
+            rates = self._allocate(live)
             dt = 0.0
-            for f in live:
-                r = rates[id(f)]
+            for f, rem, r in zip(live, remaining, rates):
                 if r <= 0:
                     raise SimulationError(
                         f"phase {phase.name!r}: flow {f.name!r} starved "
                         "under static rates"
                     )
-                dt = max(dt, remaining[id(f)] / r)
+                dt = max(dt, rem / r)
                 for name, mult in f.resources.items():
-                    traffic[name] += remaining[id(f)] * mult
-                flow_done(start + remaining[id(f)] / r, f)
+                    traffic[name] += rem * mult
+                flow_done(start + rem / r, f)
             return dt
         elapsed = 0.0
-        # Each iteration completes at least one flow, so this loop runs
-        # at most len(live) times.
+        # Each iteration completes at least one flow (every flow whose
+        # remaining bytes drain in exactly ``dt`` — same-rate
+        # completions batch into the one step), so this loop runs at
+        # most len(live) times.
         max_iter = len(live) + 1
         for _ in range(max_iter):
             if not live:
                 break
-            rates = allocate_rates(live, self.resources)
+            rates = self._allocate(live)
             # Time until the earliest completion.
             dt = math.inf
-            for f in live:
-                r = rates[id(f)]
-                if r <= 0:
-                    continue
-                dt = min(dt, remaining[id(f)] / r)
+            for rem, r in zip(remaining, rates):
+                if r > 0 and rem / r < dt:
+                    dt = rem / r
             if math.isinf(dt):
                 raise SimulationError(
                     f"phase {phase.name!r}: live flows but zero aggregate "
@@ -386,23 +429,24 @@ class Engine:
                 )
             elapsed += dt
             next_live = []
-            for f in live:
-                r = rates[id(f)]
+            next_remaining = []
+            for f, rem, r in zip(live, remaining, rates):
                 moved = r * dt
-                remaining[id(f)] = max(0.0, remaining[id(f)] - moved)
+                rem = max(0.0, rem - moved)
                 for name, mult in f.resources.items():
                     traffic[name] += moved * mult
-                done = remaining[id(f)] <= _EPS * max(1.0, f.bytes_total)
-                if done:
+                if rem <= _EPS * max(1.0, f.bytes_total):
                     flow_done(start + elapsed, f)
                 else:
                     next_live.append(f)
+                    next_remaining.append(rem)
             if len(next_live) == len(live):
                 raise SimulationError(
                     f"phase {phase.name!r}: no flow completed in an "
                     "engine iteration"
                 )
             live = next_live
+            remaining = next_remaining
         if live:
             raise SimulationError(
                 f"phase {phase.name!r}: exceeded iteration bound"

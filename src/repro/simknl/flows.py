@@ -104,6 +104,16 @@ class Flow:
                 raise PlanError(
                     f"flow {self.name!r}: negative multiplier for {res!r}"
                 )
+        #: Structural signature: everything :func:`allocate_rates`
+        #: reads except identity and byte counters. Two flows with
+        #: equal signatures receive identical rates in identical
+        #: contexts, which is what lets the engine memoize the
+        #: water-filling solve across phases and runs.
+        self.signature: tuple = (
+            self.threads,
+            self.per_thread_rate,
+            tuple(sorted(self.resources.items())),
+        )
 
     @property
     def rate_cap(self) -> float:

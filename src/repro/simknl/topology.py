@@ -27,6 +27,19 @@ from repro.simknl.flows import Resource
 from repro.units import GB, MiB
 
 
+#: Shared mesh graphs per (rows, cols). Construction dominates
+#: KNLNode setup in sweeps that build a node per cell; the graph is
+#: only ever read (shortest paths), so instances can share it.
+_GRID_CACHE: dict[tuple[int, int], "nx.Graph"] = {}
+
+
+def _grid_graph(rows: int, cols: int) -> "nx.Graph":
+    graph = _GRID_CACHE.get((rows, cols))
+    if graph is None:
+        graph = _GRID_CACHE[(rows, cols)] = nx.grid_2d_graph(rows, cols)
+    return graph
+
+
 class ClusterMode(enum.Enum):
     """KNL's mesh cluster modes (the BIOS axis orthogonal to the
     memory modes; Sodani et al.).
@@ -112,7 +125,7 @@ class KNLTopology:
         self.threads_per_core = threads_per_core
         self.mesh_bandwidth = mesh_bandwidth
         self.cluster_mode = cluster_mode
-        self.graph = nx.grid_2d_graph(rows, cols)
+        self.graph = _grid_graph(rows, cols)
         positions = sorted(self.graph.nodes)
         self.tiles: list[Tile] = []
         core = 0

@@ -144,9 +144,34 @@ class TestMultiseqPartition:
         with pytest.raises(ConfigError):
             multiseq_partition(runs, -1)
 
-    def test_float_dtype_rejected(self):
-        with pytest.raises(ConfigError):
-            multiseq_partition([np.array([1.0, 2.0])], 1)
+    def test_float_dtype_supported(self):
+        assert multiseq_partition([np.array([1.0, 2.0])], 1) == [1]
+
+    def test_float_split_property(self):
+        rng = np.random.default_rng(11)
+        runs = [
+            np.sort(rng.normal(size=rng.integers(0, 40)))
+            for _ in range(4)
+        ]
+        total = sum(len(r) for r in runs)
+        for rank in range(total + 1):
+            splits = multiseq_partition(runs, rank)
+            assert sum(splits) == rank
+            left = [r[:s] for r, s in zip(runs, splits)]
+            right = [r[s:] for r, s in zip(runs, splits)]
+            lmax = max((r[-1] for r in left if len(r)), default=None)
+            rmin = min((r[0] for r in right if len(r)), default=None)
+            if lmax is not None and rmin is not None:
+                assert lmax <= rmin
+
+    def test_float_ties_distributed(self):
+        runs = [
+            np.array([0.5, 0.5, 0.5]),
+            np.array([0.5, 0.5]),
+        ]
+        for rank in range(6):
+            splits = multiseq_partition(runs, rank)
+            assert sum(splits) == rank
 
 
 class TestParallelMultiwayMerge:
@@ -195,6 +220,69 @@ def test_losertree_equals_tournament(runs):
     assert np.array_equal(
         multiway_merge(runs, "losertree"), multiway_merge(runs, "tournament")
     )
+
+
+@settings(max_examples=120, deadline=None)
+@given(runs=runs_strategy)
+def test_galloping_losertree_equals_sorted_concat(runs):
+    """The galloping block drain must be indistinguishable from
+    sorting the concatenation."""
+    assert np.array_equal(
+        LoserTree(runs).merge(), np.sort(np.concatenate(runs))
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    runs=st.lists(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False
+            ),
+            max_size=40,
+        ).map(lambda xs: np.sort(np.array(xs, dtype=np.float64))),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_galloping_losertree_floats(runs):
+    assert np.array_equal(
+        LoserTree(runs).merge(), np.sort(np.concatenate(runs))
+    )
+
+
+def test_galloping_losertree_clustered_runs():
+    """Nearly-disjoint runs exercise the long-block gallop path."""
+    rng = np.random.default_rng(3)
+    runs = []
+    for i in range(6):
+        base = i * 10_000
+        runs.append(
+            np.sort(
+                rng.integers(base, base + 9_000, 5_000, dtype=np.int64)
+            )
+        )
+    # a spoiler run spanning everything forces mid-block challenges
+    runs.append(np.sort(rng.integers(0, 60_000, 500, dtype=np.int64)))
+    assert np.array_equal(
+        LoserTree(runs).merge(), np.sort(np.concatenate(runs))
+    )
+
+
+def test_losertree_pop_then_galloping_merge():
+    """Interleaving per-element pops with the galloping drain."""
+    rng = np.random.default_rng(4)
+    runs = [
+        np.sort(rng.integers(0, 50, rng.integers(0, 20), dtype=np.int64))
+        for _ in range(4)
+    ]
+    expected = np.sort(np.concatenate(runs))
+    lt = LoserTree(runs)
+    popped = np.array(
+        [lt.pop() for _ in range(min(5, len(expected)))], dtype=np.int64
+    )
+    rest = lt.merge()
+    assert np.array_equal(np.concatenate([popped, rest]), expected)
 
 
 @settings(max_examples=60, deadline=None)

@@ -1,0 +1,68 @@
+"""Tests for the parallel sweep runner (sweep_map / config_hash)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import config_hash, sweep_map
+from repro.telemetry import runtime as _tm
+
+CALLS: list[tuple] = []
+
+
+def _cell(a: int, b: int) -> int:
+    CALLS.append((a, b))
+    return a * 10 + b
+
+
+class TestConfigHash:
+    def test_deterministic(self):
+        assert config_hash(("f", (1, 2))) == config_hash(("f", (1, 2)))
+
+    def test_distinguishes_configs(self):
+        assert config_hash(("f", (1, 2))) != config_hash(("f", (2, 1)))
+        assert config_hash(("f", (1,))) != config_hash(("g", (1,)))
+
+    def test_handles_non_json_types(self):
+        from repro.core.modes import UsageMode
+
+        h1 = config_hash((UsageMode.FLAT, 1.5))
+        h2 = config_hash((UsageMode.CACHE, 1.5))
+        assert h1 != h2
+        assert h1 == config_hash((UsageMode.FLAT, 1.5))
+
+
+class TestSweepMap:
+    def test_serial_order_preserved(self):
+        cells = [(1, 2), (3, 4), (5, 6)]
+        assert sweep_map(_cell, cells, memo={}) == [12, 34, 56]
+
+    def test_memo_skips_repeat_cells(self):
+        memo: dict = {}
+        CALLS.clear()
+        sweep_map(_cell, [(1, 1), (2, 2)], memo=memo)
+        first = len(CALLS)
+        out = sweep_map(_cell, [(2, 2), (1, 1), (3, 3)], memo=memo)
+        assert out == [22, 11, 33]
+        assert len(CALLS) == first + 1  # only (3, 3) computed
+
+    def test_parallel_matches_serial(self):
+        cells = [(i, i + 1) for i in range(6)]
+        serial = sweep_map(_cell, cells, memo={})
+        parallel = sweep_map(_cell, cells, jobs=2, memo={})
+        assert serial == parallel
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            sweep_map(_cell, [(1, 1)], jobs=0)
+
+    def test_telemetry_session_forces_serial_and_bypasses_memo(self):
+        memo: dict = {}
+        sweep_map(_cell, [(4, 4)], memo=memo)
+        assert memo  # populated when no session is active
+        CALLS.clear()
+        with _tm.telemetry_session():
+            out = sweep_map(_cell, [(4, 4)], jobs=8, memo=memo)
+        assert out == [44]
+        assert CALLS == [(4, 4)]  # recomputed despite the memo hit

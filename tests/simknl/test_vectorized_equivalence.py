@@ -1,0 +1,209 @@
+"""Property tests holding the vectorized hot paths to their scalar
+reference implementations.
+
+The PR that vectorized :meth:`DirectMappedCache.access_range`, memoized
+the engine's water-filling solve, and added galloping to
+:class:`LoserTree` kept the scalar/unmemoized paths alive precisely so
+these tests can pin the optimized paths to them bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simknl.cache import DirectMappedCache
+from repro.simknl.engine import Engine, Phase, Plan
+from repro.simknl.flows import Flow, Resource
+from repro.telemetry import runtime as _tm
+from repro.telemetry.names import METRICS
+from repro.units import GB
+
+# ---- cache: vectorized access_range == scalar access loop ----------------
+
+LINE = 64
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1 << 14),  # start
+        st.integers(min_value=0, max_value=1 << 12),  # nbytes
+        st.booleans(),  # write
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _scalar_range(cache: DirectMappedCache, start: int, nbytes: int, write: bool):
+    """The per-line reference loop access_range replaces."""
+    if nbytes <= 0:
+        return
+    first = start // LINE
+    last = (start + nbytes - 1) // LINE
+    for line in range(first, last + 1):
+        cache.access(line * LINE, write=write)
+
+
+def _state(cache: DirectMappedCache):
+    s = cache.stats
+    return (
+        s.hits,
+        s.misses,
+        s.cold_misses,
+        s.conflict_misses,
+        s.capacity_misses,
+        s.writebacks,
+        cache.traffic(),
+        tuple(cache._tags.tolist()),
+        tuple(cache._dirty.tolist()),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=ops_strategy, capacity_lines=st.integers(min_value=1, max_value=32))
+def test_access_range_matches_scalar_loop(ops, capacity_lines):
+    fast = DirectMappedCache(capacity=capacity_lines * LINE, line_size=LINE)
+    ref = DirectMappedCache(capacity=capacity_lines * LINE, line_size=LINE)
+    for start, nbytes, write in ops:
+        fast.access_range(start, nbytes, write=write)
+        _scalar_range(ref, start, nbytes, write)
+    assert _state(fast) == _state(ref)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=ops_strategy)
+def test_access_range_with_flush_matches(ops):
+    fast = DirectMappedCache(capacity=8 * LINE, line_size=LINE)
+    ref = DirectMappedCache(capacity=8 * LINE, line_size=LINE)
+    for i, (start, nbytes, write) in enumerate(ops):
+        fast.access_range(start, nbytes, write=write)
+        _scalar_range(ref, start, nbytes, write)
+        if i % 3 == 2:
+            fast.flush()
+            ref.flush()
+    assert _state(fast) == _state(ref)
+
+
+# ---- telemetry: one batched inc() == many scalar inc()s ------------------
+
+
+def _counter_totals(tel):
+    totals = {}
+    for name in tel.metrics:
+        if METRICS[name].kind != "counter":
+            continue
+        totals[name] = sum(
+            value for _, value in tel.metrics.counter(name).series()
+        )
+    return totals
+
+
+def test_batched_emission_totals_match_scalar():
+    """access_range's single inc(n) calls must leave the same counter
+    totals as per-access emission."""
+    with _tm.telemetry_session() as tel_fast:
+        fast = DirectMappedCache(capacity=8 * LINE, line_size=LINE)
+        fast.access_range(0, 32 * LINE, write=True)
+        fast.access_range(0, 32 * LINE, write=False)
+        fast.flush()
+        fast_totals = _counter_totals(tel_fast)
+    with _tm.telemetry_session() as tel_ref:
+        ref = DirectMappedCache(capacity=8 * LINE, line_size=LINE)
+        _scalar_range(ref, 0, 32 * LINE, True)
+        _scalar_range(ref, 0, 32 * LINE, False)
+        ref.flush()
+        ref_totals = _counter_totals(tel_ref)
+    assert fast_totals == ref_totals
+    assert fast_totals, "expected cache counters to be emitted"
+    assert fast.stats == ref.stats
+
+
+def test_handles_rebound_across_sessions():
+    """A cache built inside one session must not leak counts into a
+    later session through stale hoisted handles."""
+    cache = DirectMappedCache(capacity=4 * LINE, line_size=LINE)
+    with _tm.telemetry_session() as first:
+        cache.access_range(0, 4 * LINE)
+        first_totals = _counter_totals(first)
+    with _tm.telemetry_session() as second:
+        cache.access_range(0, 4 * LINE)
+        second_totals = _counter_totals(second)
+    # First sweep cold-misses every line; the second sweep hits the
+    # now-resident lines, and its counts must land in the second
+    # session's registry, not the first's stale handles.
+    assert first_totals["cache.misses_total"] == 4
+    assert second_totals["cache.hits_total"] == 4
+    assert second_totals["cache.misses_total"] == 0
+    assert _counter_totals(first) == first_totals  # untouched afterwards
+
+
+# ---- engine: memoized allocation == reference allocation -----------------
+
+
+def _random_plan(rng) -> Plan:
+    plan = Plan("random")
+    for _ in range(rng.integers(1, 4)):
+        flows = []
+        for i in range(rng.integers(1, 4)):
+            res = {"ddr": 1.0}
+            if rng.random() < 0.5:
+                res["mcdram"] = float(rng.choice([0.5, 1.0, 2.0]))
+            flows.append(
+                Flow(
+                    f"f{i}",
+                    int(rng.integers(1, 64)),
+                    float(rng.choice([0.2, 1.0, 4.8])) * GB,
+                    res,
+                    float(rng.integers(1, 30)) * GB,
+                )
+            )
+        plan.add(Phase(f"p{len(plan.phases)}", flows))
+    return plan
+
+
+def test_memoized_engine_matches_reference():
+    resources = [
+        Resource("ddr", 90 * GB),
+        Resource("mcdram", 400 * GB),
+    ]
+    rng = np.random.default_rng(123)
+    for trial in range(60):
+        seed = int(rng.integers(0, 2**31))
+        memo = Engine(resources, memoize_rates=True).run(
+            _random_plan(np.random.default_rng(seed))
+        )
+        ref = Engine(resources, memoize_rates=False).run(
+            _random_plan(np.random.default_rng(seed))
+        )
+        assert memo.elapsed == ref.elapsed, trial
+        assert memo.traffic == ref.traffic, trial
+        assert memo.phase_times == ref.phase_times, trial
+
+
+def test_memo_cache_reused_across_runs():
+    resources = [Resource("ddr", 90 * GB)]
+    eng = Engine(resources, memoize_rates=True)
+    plan = Plan("memo").add(
+        Phase("p", [Flow("f", 8, 1.0 * GB, {"ddr": 1.0}, 10 * GB)])
+    )
+    first = eng.run(plan)
+    assert eng._rate_cache
+    hits_before = len(eng._rate_cache)
+    second = eng.run(plan)
+    assert len(eng._rate_cache) == hits_before  # no new solves
+    assert first.elapsed == second.elapsed
+
+
+def test_degradation_invalidates_memo():
+    resources = [Resource("ddr", 90 * GB)]
+    eng = Engine(resources, memoize_rates=True)
+    plan = Plan("degrade").add(
+        Phase("p", [Flow("f", 256, 4.8 * GB, {"ddr": 1.0}, 90 * GB)])
+    )
+    base = eng.run(plan).elapsed
+    assert eng.degrade_resource("ddr", 0.5)
+    degraded = eng.run(plan).elapsed
+    assert degraded > base * 1.5
+    eng.restore_resource("ddr")
+    assert eng.run(plan).elapsed == base

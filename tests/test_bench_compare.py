@@ -1,0 +1,92 @@
+"""Tests for the benchmark regression gate (tools/bench_compare.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py",
+)
+bench_compare = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_compare)
+
+
+def _payload(means: dict[str, float]) -> dict:
+    return {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+
+
+def _write(tmp_path: Path, name: str, means: dict[str, float]) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps(_payload(means)))
+    return path
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        lines, regs = bench_compare.compare(
+            {"a": 1.0}, {"a": 1.25}, threshold=0.30
+        )
+        assert regs == []
+        assert any("ok" in line for line in lines)
+
+    def test_regression_flagged(self):
+        _, regs = bench_compare.compare(
+            {"a": 1.0, "b": 1.0}, {"a": 1.5, "b": 0.9}, threshold=0.30
+        )
+        assert len(regs) == 1
+        assert regs[0].startswith("a:")
+
+    def test_improvement_labelled(self):
+        lines, regs = bench_compare.compare(
+            {"a": 1.0}, {"a": 0.1}, threshold=0.30
+        )
+        assert regs == []
+        assert any("improved" in line for line in lines)
+
+    def test_new_and_missing_do_not_fail(self):
+        lines, regs = bench_compare.compare(
+            {"old": 1.0}, {"new": 1.0}, threshold=0.30
+        )
+        assert regs == []
+        assert any("NEW" in line for line in lines)
+        assert any("MISSING" in line for line in lines)
+
+
+class TestMain:
+    def test_identical_files_pass(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", {"a": 1.0, "b": 2.0})
+        assert bench_compare.main([str(base), str(base)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regressed_file_fails(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", {"a": 1.0})
+        cur = _write(tmp_path, "cur.json", {"a": 2.0})
+        assert bench_compare.main([str(base), str(cur)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_custom_threshold(self, tmp_path):
+        base = _write(tmp_path, "base.json", {"a": 1.0})
+        cur = _write(tmp_path, "cur.json", {"a": 1.5})
+        assert bench_compare.main([str(base), str(cur)]) == 1
+        assert (
+            bench_compare.main(
+                [str(base), str(cur), "--threshold", "0.60"]
+            )
+            == 0
+        )
+
+    def test_empty_payload_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"benchmarks": []}))
+        with pytest.raises(SystemExit):
+            bench_compare.load_means(path)

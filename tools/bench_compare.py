@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files and gate on regressions.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json \
+        [--threshold 0.30]
+
+Benchmarks are matched by fully-qualified name and compared on
+``stats.mean``. A benchmark whose mean grew by more than ``threshold``
+(default 30 %) relative to the baseline is a **regression** and makes
+the script exit non-zero. Benchmarks present on only one side are
+reported but never fail the gate — new benchmarks must be able to land
+together with their baseline refresh, and retired ones must not haunt
+the build.
+
+The 30 % default is deliberately loose: CI runners are noisy and the
+micro-benchmarks measure Python hot paths whose real optimizations are
+10x+, so the gate only has to catch order-of-magnitude backslides, not
+jitter. Refresh the committed baseline whenever a benchmark's profile
+legitimately changes::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_micro.py \
+        --benchmark-only --benchmark-json=benchmarks/BENCH_micro.json
+
+Zero dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}") from exc
+    means: dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        mean = bench.get("stats", {}).get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[name] = float(mean)
+    if not means:
+        raise SystemExit(f"error: no benchmarks found in {path}")
+    return means
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> tuple[list[str], list[str]]:
+    """Return (report lines, regression lines)."""
+    lines: list[str] = []
+    regressions: list[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"  NEW      {name}: {cur:.6f}s (no baseline)")
+            continue
+        if cur is None:
+            lines.append(f"  MISSING  {name}: baseline {base:.6f}s")
+            continue
+        ratio = cur / base
+        delta = (ratio - 1.0) * 100.0
+        tag = "ok"
+        if ratio > 1.0 + threshold:
+            tag = "REGRESSED"
+            regressions.append(
+                f"{name}: {base:.6f}s -> {cur:.6f}s ({delta:+.1f}%)"
+            )
+        elif ratio < 1.0 / (1.0 + threshold):
+            tag = "improved"
+        lines.append(
+            f"  {tag:<9} {name}: {base:.6f}s -> {cur:.6f}s ({delta:+.1f}%)"
+        )
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regress beyond a threshold."
+    )
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument("current", type=Path, help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown before failing (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baseline = load_means(args.baseline)
+    current = load_means(args.current)
+    lines, regressions = compare(baseline, current, args.threshold)
+
+    print(f"benchmark comparison ({args.baseline} -> {args.current}, "
+          f"threshold {args.threshold:.0%}):")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more "
+            f"than {args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for reg in regressions:
+            print(f"  {reg}", file=sys.stderr)
+        return 1
+    print("\nOK: no benchmark regressed beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
