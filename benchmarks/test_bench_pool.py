@@ -1,0 +1,71 @@
+"""Benchmarks of the sweep dispatch backends.
+
+Measures per-cell dispatch overhead — the cell function is deliberately
+trivial, so the timings are dominated by what each backend pays to get
+a cell to a worker and its result back: process startup plus one pickle
+round-trip per cell for ``fork``, chunked pipe messages plus a
+shared-memory ring read for ``persistent``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments.pool import get_pool, shutdown_pool
+from repro.experiments.runner import sweep_map
+
+JOBS = 8
+CELLS = [(i, 1.0) for i in range(64)]
+
+
+def _tiny(i: int, x: float) -> float:
+    return i * x
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _pool_lifetime():
+    shutdown_pool()
+    yield
+    shutdown_pool()
+
+
+def test_bench_pool_persistent_dispatch(benchmark):
+    pool = get_pool(JOBS)
+    pool.map(_tiny, CELLS)  # warm: spawn workers outside the timed region
+    out = benchmark(pool.map, _tiny, CELLS)
+    assert out == [_tiny(*c) for c in CELLS]
+
+
+def test_bench_pool_fork_dispatch(benchmark):
+    out = benchmark.pedantic(
+        lambda: sweep_map(_tiny, CELLS, jobs=JOBS, memo={}, pool="fork"),
+        rounds=3,
+        iterations=1,
+    )
+    assert out == [_tiny(*c) for c in CELLS]
+
+
+def test_persistent_at_least_2x_lower_overhead():
+    """The acceptance bar: per-cell dispatch overhead of the warm
+    persistent pool is at least 2x below the fork-per-sweep backend."""
+    pool = get_pool(JOBS)
+    pool.map(_tiny, CELLS)  # warm
+
+    def best_of(fn, rounds=3):
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    persistent = best_of(lambda: pool.map(_tiny, CELLS))
+    fork = best_of(
+        lambda: sweep_map(_tiny, CELLS, jobs=JOBS, memo={}, pool="fork")
+    )
+    assert fork >= 2.0 * persistent, (
+        f"fork {fork * 1e6 / len(CELLS):.1f}us/cell vs persistent "
+        f"{persistent * 1e6 / len(CELLS):.1f}us/cell"
+    )

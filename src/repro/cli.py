@@ -62,6 +62,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--pool",
+        choices=["persistent", "fork"],
+        default=None,
+        help=(
+            "parallel backend for --jobs: 'persistent' reuses a "
+            "process-lifetime shared-memory worker pool (chunked "
+            "dispatch, low per-cell overhead), 'fork' forks a fresh "
+            "process pool per sweep. Default: persistent (or "
+            "$REPRO_SWEEP_POOL)"
+        ),
+    )
+    parser.add_argument(
         "--metrics",
         metavar="PATH",
         help=(
@@ -111,6 +123,8 @@ def _run_all(args) -> None:
         kwargs = {}
         if args.jobs > 1 and getattr(driver, "supports_jobs", False):
             kwargs["jobs"] = args.jobs
+            if args.pool is not None:
+                kwargs["pool"] = args.pool
         _emit(driver(**kwargs), args)
 
 

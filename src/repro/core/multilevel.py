@@ -99,9 +99,13 @@ class ThreeLevelPipeline:
         self.kernel = kernel
         self.config = config
         self.params = params or ModelParams()
+        if nvm_bandwidth is not None and nvm_bandwidth <= 0:
+            raise ConfigError(
+                f"nvm_bandwidth must be positive, got {nvm_bandwidth}"
+            )
         self.nvm = (
             nvm_device(bandwidth=nvm_bandwidth)
-            if nvm_bandwidth
+            if nvm_bandwidth is not None
             else nvm_device()
         )
         if config.data_bytes > self.nvm.capacity:
@@ -255,11 +259,15 @@ class ThreeLevelPipeline:
                         )
                     )
                 # Spread each background outer transfer evenly over the
-                # inner steps so the overlap is expressed phase-locally.
+                # inner steps; the final step takes whatever remains so
+                # the per-step shares sum exactly to bytes_total.
                 for bg in background:
-                    share = bg.bytes_total / (n + 2)
-                    if remaining[id(bg)] > 0:
+                    share = bg.bytes_total // (n + 2)
+                    if s == n + 1:
+                        take = remaining[id(bg)]
+                    else:
                         take = min(share, remaining[id(bg)])
+                    if take > 0:
                         remaining[id(bg)] -= take
                         flows.append(
                             Flow(

@@ -30,6 +30,7 @@ from repro.algorithms.oblivious import oblivious_sort_plan
 from repro.core.kernel import StreamKernel
 from repro.core.modes import UsageMode
 from repro.core.multilevel import ThreeLevelConfig, ThreeLevelPipeline
+from repro.errors import ConfigError
 from repro.experiments.runner import (
     ExperimentResult,
     SeriesSpec,
@@ -564,6 +565,7 @@ def run_faults(
     seed: int = 42,
     intensities: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 0.9),
     jobs: int = 1,
+    pool: str | None = None,
 ) -> ExperimentResult:
     """Degradation report: resilient chunked MLM-sort vs monolithic GNU.
 
@@ -577,31 +579,41 @@ def run_faults(
     GNU-cache baseline has no such escape: every byte keeps streaming
     through the degraded cache, and its time falls off a cliff.
     """
+    if not intensities:
+        raise ConfigError("intensities must be non-empty")
     cells = [
         (n, megachunk, seed, intensity) for intensity in intensities
     ]
-    results = sweep_map(_fault_cell, cells, jobs=jobs)
+    results = sweep_map(_fault_cell, cells, jobs=jobs, pool=pool)
+    # Normalize slowdowns against the lowest intensity actually run —
+    # not a hard-coded 0.0, which silently degenerated every slowdown
+    # column to 1.0 whenever the caller's sweep did not include it.
+    base_index = min(
+        range(len(intensities)), key=lambda i: intensities[i]
+    )
+    base_resilient = results[base_index][0]
+    base_gnu = results[base_index][1]
     rows = []
-    base_resilient = base_gnu = None
     for intensity, (res_s, gnu_s, recoveries, degraded) in zip(
         intensities, results
     ):
-        if intensity == 0.0:
-            base_resilient, base_gnu = res_s, gnu_s
         rows.append(
             {
                 "intensity": intensity,
                 "resilient_s": res_s,
                 "monolithic_s": gnu_s,
-                "resilient_slowdown": (
-                    res_s / base_resilient if base_resilient else 1.0
-                ),
-                "monolithic_slowdown": (
-                    gnu_s / base_gnu if base_gnu else 1.0
-                ),
+                "resilient_slowdown": res_s / base_resilient,
+                "monolithic_slowdown": gnu_s / base_gnu,
                 "recovery_events": recoveries,
                 "degraded_to_ddr": degraded,
             }
+        )
+    baseline_notes = []
+    if intensities[base_index] != 0.0:
+        baseline_notes.append(
+            "slowdowns are normalized against intensity="
+            f"{intensities[base_index]}, the lowest intensity run "
+            "(0.0 was not in the sweep)"
         )
     return ExperimentResult(
         experiment="faults",
@@ -625,6 +637,7 @@ def run_faults(
             "than DDR, remaining chunks downgrade to the MLM-ddr path — "
             "while the monolithic GNU-cache baseline keeps streaming "
             "through the degraded cache and falls off a cliff",
+            *baseline_notes,
         ],
     )
 
@@ -642,10 +655,15 @@ def _energy_cell(variant: str, n: int) -> dict:
     }
 
 
-def run_energy(n: int = 2_000_000_000, jobs: int = 1) -> ExperimentResult:
+def run_energy(
+    n: int = 2_000_000_000, jobs: int = 1, pool: str | None = None
+) -> ExperimentResult:
     """Energy and energy-delay product across the Table 1 variants."""
     rows = sweep_map(
-        _energy_cell, [(variant, n) for variant in VARIANTS], jobs=jobs
+        _energy_cell,
+        [(variant, n) for variant in VARIANTS],
+        jobs=jobs,
+        pool=pool,
     )
     return ExperimentResult(
         experiment="energy",

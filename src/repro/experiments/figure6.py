@@ -21,6 +21,7 @@ def run_figure6(
     sizes: tuple[int, ...] = (2_000_000_000, 4_000_000_000, 6_000_000_000),
     orders: tuple[str, ...] = ("random", "reverse"),
     jobs: int = 1,
+    pool: str | None = None,
 ) -> ExperimentResult:
     """Speedup of each variant over GNU-flat, per size and order."""
     cells = [
@@ -29,7 +30,12 @@ def run_figure6(
         for n in sizes
         for variant in VARIANTS
     ]
-    times = dict(zip(cells, sweep_map(sort_variant_seconds, cells, jobs=jobs)))
+    times = dict(
+        zip(
+            cells,
+            sweep_map(sort_variant_seconds, cells, jobs=jobs, pool=pool),
+        )
+    )
     rows = []
     for order in orders:
         for n in sizes:

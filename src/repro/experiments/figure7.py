@@ -51,6 +51,7 @@ def run_figure7(
     n: int = 6_000_000_000,
     chunks: tuple[int, ...] = DEFAULT_CHUNKS,
     jobs: int = 1,
+    pool: str | None = None,
 ) -> ExperimentResult:
     """Time vs chunk size for MLM-sort in flat, hybrid, and implicit."""
     cells: list[tuple] = []
@@ -64,7 +65,7 @@ def run_figure7(
             labels.append((mega, "hybrid_s"))
         cells.append((UsageMode.IMPLICIT, n, mega, cost))
         labels.append((mega, "implicit_s"))
-    times = sweep_map(_variant_time, cells, jobs=jobs)
+    times = sweep_map(_variant_time, cells, jobs=jobs, pool=pool)
     by_chunk: dict[int, dict] = {
         mega: {"chunk_elements": mega} for mega in chunks
     }

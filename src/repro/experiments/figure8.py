@@ -9,6 +9,7 @@ the buffered pipeline on the simulated node.
 from __future__ import annotations
 
 from repro.algorithms.merge_bench import MergeBenchConfig, run_merge_bench
+from repro.errors import ConfigError
 from repro.experiments.runner import ExperimentResult, SeriesSpec, sweep_map
 from repro.model.analytic import predict
 from repro.model.params import ModelParams
@@ -23,6 +24,12 @@ def _figure8_cell(r: int, p: int, total_threads: int) -> tuple[float, float]:
     params = ModelParams()
     node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
     p_comp = total_threads - 2 * p
+    if p_comp <= 0:
+        raise ConfigError(
+            f"copy_threads={p} leaves no compute threads: "
+            f"total_threads={total_threads} - 2*{p} = {p_comp} "
+            "(need total_threads > 2 * copy_threads)"
+        )
     model_t = predict(params, p_comp, p, p, passes=r).t_total
     emp_t = run_merge_bench(
         node,
@@ -38,6 +45,7 @@ def run_figure8(
     copy_threads: tuple[int, ...] = DEFAULT_COPY_THREADS,
     total_threads: int = 256,
     jobs: int = 1,
+    pool: str | None = None,
 ) -> ExperimentResult:
     """Model (8a) and empirical (8b) time curves."""
     cells = [
@@ -51,7 +59,7 @@ def run_figure8(
             "empirical_s": emp_t,
         }
         for (r, p, _), (model_t, emp_t) in zip(
-            cells, sweep_map(_figure8_cell, cells, jobs=jobs)
+            cells, sweep_map(_figure8_cell, cells, jobs=jobs, pool=pool)
         )
     ]
     return ExperimentResult(

@@ -1,0 +1,570 @@
+"""Persistent shared-memory worker pool for :func:`sweep_map`.
+
+The fork-per-call backend (``pool="fork"``) re-pays process startup and
+one pickle round-trip per cell on every sweep. For the small cells the
+figure drivers run by the hundreds, that overhead binds long before the
+simulation work does — the same staging-vs-compute economics the
+paper's Section 3.2 model describes, applied to our own harness. This
+module amortizes it the way the paper amortizes copies:
+
+* **Workers are spawned once per process lifetime** (lazily, sized by
+  ``jobs``) and survive across :func:`sweep_map` calls and drivers.
+* **Cells are dispatched in chunks**, so the per-message IPC cost is
+  paid per chunk, not per cell.
+* **Numeric results return through a shared-memory ring buffer** — one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment per
+  worker, written as a single-producer/single-consumer ring of float64
+  slots — while mixed-type payloads (dicts, heterogeneous tuples) fall
+  back to pickle over the worker's duplex pipe.
+* **Reassembly is deterministic**: chunks carry their cell indices, so
+  results land in cell order regardless of completion order and a
+  parallel sweep stays bit-identical to a serial one.
+* **Worker death is survived**: a dead worker's already-delivered
+  results are drained, the worker is respawned with a fresh ring, and
+  its lost chunks are resubmitted. Per-chunk attempts are bounded; the
+  pool raises :class:`~repro.errors.RetryExhaustedError` (carrying the
+  attempt count, the :mod:`repro.faults` retry-accounting convention)
+  when a chunk keeps killing its workers.
+
+Pool health is observable through :attr:`PersistentPool.stats` and,
+when a telemetry session is active at dispatch time, through the
+``sweep.*`` metrics in the telemetry catalog. (:func:`sweep_map` itself
+runs serially under a session — see its docstring — so those metrics
+are populated by direct :meth:`PersistentPool.map` use.)
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing.connection import Connection, wait
+from multiprocessing.shared_memory import SharedMemory
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError, RetryExhaustedError
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
+
+#: float64 result slots per worker ring (512 KiB of payload).
+RING_SLOTS = 1 << 16
+#: Ring header bytes: one int64 read cursor (parent-written).
+_HEADER_BYTES = 16
+#: Chunks kept in flight per worker before its next dispatch.
+_PREFETCH = 2
+#: Upper bound on cells per chunk (keeps ring payloads small and load
+#: balancing effective).
+MAX_CHUNK_CELLS = 64
+#: Hard cap on pool size, far above any sensible ``--jobs``.
+_MAX_WORKERS = 64
+#: Attempts per chunk before the pool gives up on a crash loop.
+_MAX_CHUNK_ATTEMPTS = 3
+
+_CTX = get_context(
+    "fork" if "fork" in get_all_start_methods() else "spawn"
+)
+
+
+@dataclass
+class PoolStats:
+    """Cumulative health counters of one :class:`PersistentPool`.
+
+    ``dispatch_seconds`` is total wall time inside :meth:`map`;
+    ``ipc_wait_seconds`` the part of it spent blocked on worker
+    replies. ``shm_results`` / ``pickle_results`` count chunks by
+    return transport.
+    """
+
+    workers_spawned: int = 0
+    respawns: int = 0
+    cells: int = 0
+    chunks: int = 0
+    shm_results: int = 0
+    pickle_results: int = 0
+    dispatch_seconds: float = 0.0
+    ipc_wait_seconds: float = 0.0
+    chunk_cells: list[int] = field(default_factory=list)
+
+
+def _encode_numeric(results: list) -> tuple[np.ndarray, int] | None:
+    """Flatten a chunk's results into float64s, if losslessly possible.
+
+    Returns ``(values, cols)`` where ``cols == 0`` marks plain float
+    scalars and ``cols == k`` marks uniform k-tuples of floats; ``None``
+    when any element is not exactly a float (ints, bools, dicts, …
+    take the pickle path so reconstruction is type-exact).
+    """
+    if not results:
+        return None
+    first = results[0]
+    if type(first) is float:
+        if all(type(r) is float for r in results):
+            return np.asarray(results, dtype=np.float64), 0
+        return None
+    if type(first) is tuple and first and len(first) <= RING_SLOTS:
+        cols = len(first)
+        for r in results:
+            if type(r) is not tuple or len(r) != cols:
+                return None
+            for v in r:
+                if type(v) is not float:
+                    return None
+        flat = np.asarray(results, dtype=np.float64).reshape(-1)
+        return flat, cols
+    return None
+
+
+def _decode_numeric(values: np.ndarray, cols: int) -> list:
+    """Inverse of :func:`_encode_numeric`."""
+    if cols == 0:
+        return [float(v) for v in values]
+    rows = values.reshape(-1, cols)
+    return [tuple(float(v) for v in row) for row in rows]
+
+
+def _ring_views(shm: SharedMemory) -> tuple[np.ndarray, np.ndarray]:
+    """(read-cursor int64 view, float64 data view) over a ring segment."""
+    header = np.ndarray((1,), dtype=np.int64, buffer=shm.buf)
+    data = np.ndarray(
+        (RING_SLOTS,), dtype=np.float64, buffer=shm.buf,
+        offset=_HEADER_BYTES,
+    )
+    return header, data
+
+
+def _close_sibling_fds() -> None:
+    """Close inherited pool fds in a freshly forked worker.
+
+    A fork copies the parent's fd table, so a worker holds the parent
+    ends of every *earlier* worker's pipe; while those copies stay
+    open, a sibling's death never reads as EOF in the parent. The
+    forked child still sees the module-global pool object, so it can
+    close them all.
+    """
+    pool = _POOL
+    if pool is None:
+        return
+    for worker in pool._workers:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+
+def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
+    """Worker loop: pull chunk messages, push results until ``stop``."""
+    _close_sibling_fds()
+    shm = SharedMemory(name=shm_name)
+    read_cursor, ring = _ring_views(shm)
+    write_idx = 0
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except Exception:
+                # EOF (parent gone) or an undecodable task message
+                # (e.g. fn not importable in this fork) — die quietly;
+                # the pool respawns from current parent state and
+                # resubmits.
+                break
+            if msg[0] == "stop":
+                break
+            _, chunk_id, fn, cells = msg
+            try:
+                results = [fn(*cell) for cell in cells]
+            except BaseException as exc:
+                try:
+                    conn.send(("error", slot, chunk_id, exc))
+                except Exception:
+                    conn.send(
+                        (
+                            "error", slot, chunk_id,
+                            RuntimeError(
+                                f"{type(exc).__name__}: {exc} "
+                                "(original exception unpicklable)"
+                            ),
+                        )
+                    )
+                continue
+            encoded = _encode_numeric(results)
+            if encoded is not None and len(encoded[0]) <= RING_SLOTS:
+                values, cols = encoded
+                count = len(values)
+                # SPSC flow control: monotonic cursors, parent advances
+                # the read cursor after consuming each payload.
+                while RING_SLOTS - (write_idx - int(read_cursor[0])) < count:
+                    time.sleep(0.0005)
+                pos = write_idx % RING_SLOTS
+                head = min(count, RING_SLOTS - pos)
+                ring[pos:pos + head] = values[:head]
+                if count > head:
+                    ring[:count - head] = values[head:]
+                conn.send(("shm", slot, chunk_id, write_idx, count, cols))
+                write_idx += count
+            else:
+                try:
+                    conn.send(("pickle", slot, chunk_id, results))
+                except Exception as exc:
+                    conn.send(
+                        (
+                            "error", slot, chunk_id,
+                            RuntimeError(
+                                f"chunk {chunk_id} result unpicklable: "
+                                f"{type(exc).__name__}: {exc}"
+                            ),
+                        )
+                    )
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        shm.close()
+
+
+@dataclass
+class _Worker:
+    """Parent-side record of one worker process."""
+
+    slot: int
+    process: Any
+    conn: Connection
+    shm: SharedMemory
+    read_header: np.ndarray
+    ring: np.ndarray
+
+
+@dataclass
+class _Chunk:
+    """One dispatched batch of cells."""
+
+    chunk_id: int
+    indices: list[int]
+    cells: list[tuple]
+    attempts: int = 0
+
+
+class PersistentPool:
+    """A process-lifetime pool of sweep workers.
+
+    Use :func:`get_pool` rather than constructing directly — the pool
+    is meant to be a singleton whose spawn cost amortizes across every
+    sweep of the process.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ConfigError(f"pool size must be >= 1, got {size}")
+        self.size = min(size, _MAX_WORKERS)
+        self.stats = PoolStats()
+        self._workers: list[_Worker] = []
+        self._next_chunk_id = 0
+        self._closed = False
+
+    # ---- worker lifecycle --------------------------------------------------
+
+    def _spawn(self, slot: int) -> _Worker:
+        shm = SharedMemory(
+            create=True, size=_HEADER_BYTES + RING_SLOTS * 8
+        )
+        header, ring = _ring_views(shm)
+        header[0] = 0
+        parent_conn, child_conn = _CTX.Pipe(duplex=True)
+        process = _CTX.Process(
+            target=_worker_main,
+            args=(slot, child_conn, shm.name),
+            daemon=True,
+            name=f"repro-sweep-{slot}",
+        )
+        process.start()
+        child_conn.close()
+        self.stats.workers_spawned += 1
+        return _Worker(slot, process, parent_conn, shm, header, ring)
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise ConfigError("pool has been shut down")
+        while len(self._workers) < self.size:
+            self._workers.append(self._spawn(len(self._workers)))
+
+    def grow(self, size: int) -> None:
+        """Raise the worker count (never shrinks a live pool)."""
+        if size > self.size:
+            self.size = min(size, _MAX_WORKERS)
+
+    @property
+    def alive(self) -> bool:
+        """False once :meth:`shutdown` has run."""
+        return not self._closed
+
+    def shutdown(self) -> None:
+        """Stop workers and release shared-memory rings."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.shm.close()
+            try:
+                worker.shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._workers = []
+
+    # ---- dispatch ----------------------------------------------------------
+
+    def chunk_size(self, ncells: int) -> int:
+        """Cells per chunk: ~4 chunks per worker, capped for balance."""
+        per_worker = -(-ncells // (self.size * 4))
+        return max(1, min(MAX_CHUNK_CELLS, per_worker))
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        cells: Sequence[tuple],
+        chunk_cells: int | None = None,
+    ) -> list[Any]:
+        """Map ``fn`` over ``cells`` on the pool, in cell order.
+
+        Exceptions raised by ``fn`` propagate. A worker that dies
+        mid-chunk is respawned and the chunk resubmitted (bounded by
+        ``_MAX_CHUNK_ATTEMPTS``).
+        """
+        if not cells:
+            return []
+        t_start = time.perf_counter()
+        self._ensure_workers()
+        step = chunk_cells or self.chunk_size(len(cells))
+        chunks: list[_Chunk] = []
+        for lo in range(0, len(cells), step):
+            indices = list(range(lo, min(lo + step, len(cells))))
+            chunks.append(
+                _Chunk(
+                    self._next_chunk_id,
+                    indices,
+                    [cells[i] for i in indices],
+                )
+            )
+            self._next_chunk_id += 1
+        results: list[Any] = [None] * len(cells)
+        call = self._run_chunks(fn, chunks, results)
+        call["dispatch_seconds"] = time.perf_counter() - t_start
+        self.stats.cells += len(cells)
+        self.stats.chunks += len(chunks)
+        self.stats.chunk_cells.extend(len(c.indices) for c in chunks)
+        self.stats.dispatch_seconds += call["dispatch_seconds"]
+        self.stats.ipc_wait_seconds += call["ipc_wait_seconds"]
+        self.stats.shm_results += call["shm_results"]
+        self.stats.pickle_results += call["pickle_results"]
+        self.stats.respawns += call["respawns"]
+        self._emit_telemetry(chunks, call)
+        return results
+
+    def _run_chunks(
+        self,
+        fn: Callable[..., Any],
+        chunks: list[_Chunk],
+        results: list[Any],
+    ) -> dict[str, Any]:
+        """Dispatch chunks, reassemble results; returns per-call stats."""
+        todo = list(reversed(chunks))  # pop() from the front of the sweep
+        assigned: dict[int, dict[int, _Chunk]] = {
+            w.slot: {} for w in self._workers
+        }
+        completed: set[int] = set()
+        failure: BaseException | None = None
+        call = {
+            "ipc_wait_seconds": 0.0,
+            "shm_results": 0,
+            "pickle_results": 0,
+            "respawns": 0,
+        }
+
+        def dispatch(slot: int) -> None:
+            worker = self._workers[slot]
+            while todo and len(assigned[slot]) < _PREFETCH:
+                chunk = todo.pop()
+                chunk.attempts += 1
+                assigned[slot][chunk.chunk_id] = chunk
+                try:
+                    worker.conn.send(
+                        ("run", chunk.chunk_id, fn, chunk.cells)
+                    )
+                except (OSError, ValueError):
+                    # Worker died under us; the next reap requeues the
+                    # chunk we just recorded as assigned.
+                    return
+
+        def fill() -> None:
+            for slot in range(len(self._workers)):
+                dispatch(slot)
+
+        fill()
+        done = 0
+        while done < len(chunks):
+            t_wait = time.perf_counter()
+            ready = wait(
+                [w.conn for w in self._workers], timeout=0.25
+            )
+            call["ipc_wait_seconds"] += time.perf_counter() - t_wait
+            if not ready:
+                call["respawns"] += self._reap_dead(assigned, todo)
+                fill()
+                continue
+            for conn in ready:
+                worker = next(
+                    (w for w in self._workers if w.conn is conn), None
+                )
+                if worker is None:
+                    continue  # conn replaced by a reap this iteration
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    call["respawns"] += self._reap_dead(assigned, todo)
+                    fill()
+                    continue
+                chunk_id = msg[2]
+                if msg[0] == "error":
+                    # First failure wins; later ones are duplicates of
+                    # the same sweep and are discarded with the run.
+                    if failure is None:
+                        failure = msg[3]
+                    assigned[worker.slot].pop(chunk_id, None)
+                    if chunk_id not in completed:
+                        completed.add(chunk_id)
+                        done += 1
+                    dispatch(worker.slot)
+                    continue
+                chunk = assigned[worker.slot].pop(chunk_id, None)
+                if msg[0] == "shm":
+                    _, _, _, start, count, cols = msg
+                    pos = start % RING_SLOTS
+                    head = min(count, RING_SLOTS - pos)
+                    values = np.empty(count, dtype=np.float64)
+                    values[:head] = worker.ring[pos:pos + head]
+                    if count > head:
+                        values[head:] = worker.ring[:count - head]
+                    worker.read_header[0] = start + count
+                    payload = _decode_numeric(values, cols)
+                    call["shm_results"] += 1
+                else:
+                    payload = msg[3]
+                    call["pickle_results"] += 1
+                if chunk is None or chunk_id in completed:
+                    dispatch(worker.slot)
+                    continue
+                for index, value in zip(chunk.indices, payload):
+                    results[index] = value
+                completed.add(chunk_id)
+                done += 1
+                dispatch(worker.slot)
+        if failure is not None:
+            raise failure
+        return call
+
+    def _reap_dead(
+        self,
+        assigned: dict[int, dict[int, _Chunk]],
+        todo: list[_Chunk],
+    ) -> int:
+        """Respawn dead workers, requeue their chunks; returns respawns."""
+        respawned = 0
+        for slot, worker in enumerate(self._workers):
+            if worker.process.is_alive():
+                continue
+            lost = list(assigned[slot].values())
+            assigned[slot].clear()
+            for chunk in lost:
+                if chunk.attempts >= _MAX_CHUNK_ATTEMPTS:
+                    self.shutdown()
+                    raise RetryExhaustedError(
+                        f"sweep chunk {chunk.chunk_id} killed its "
+                        f"worker {chunk.attempts} times "
+                        f"(cells {chunk.indices[0]}..{chunk.indices[-1]})",
+                        attempts=chunk.attempts,
+                    )
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=0.5)
+            worker.shm.close()
+            try:
+                worker.shm.unlink()
+            except FileNotFoundError:
+                pass
+            self._workers[slot] = self._spawn(slot)
+            respawned += 1
+            # Resubmit at the front so lost work finishes promptly.
+            todo.extend(reversed(lost))
+        return respawned
+
+    # ---- observability -----------------------------------------------------
+
+    def _emit_telemetry(
+        self, chunks: list[_Chunk], call: dict[str, Any]
+    ) -> None:
+        """Flush one call's deltas into the active telemetry session."""
+        tel = _tm.current()
+        if not tel.enabled:
+            return
+        m = tel.metrics
+        m.counter(_tn.SWEEP_CELLS_TOTAL).inc(
+            sum(len(c.indices) for c in chunks)
+        )
+        m.counter(_tn.SWEEP_CHUNKS_TOTAL).inc(len(chunks))
+        for chunk in chunks:
+            m.histogram(_tn.SWEEP_CHUNK_CELLS).observe(len(chunk.indices))
+        m.counter(_tn.SWEEP_DISPATCH_SECONDS_TOTAL).inc(
+            call["dispatch_seconds"]
+        )
+        m.counter(_tn.SWEEP_IPC_WAIT_SECONDS_TOTAL).inc(
+            call["ipc_wait_seconds"]
+        )
+        m.counter(_tn.SWEEP_RESULTS_TOTAL).inc(
+            call["shm_results"], transport="shm"
+        )
+        m.counter(_tn.SWEEP_RESULTS_TOTAL).inc(
+            call["pickle_results"], transport="pickle"
+        )
+        m.counter(_tn.SWEEP_RESPAWNS_TOTAL).inc(call["respawns"])
+        m.gauge(_tn.SWEEP_WORKERS).set(len(self._workers))
+
+
+#: The process-wide pool singleton (``None`` until first use).
+_POOL: PersistentPool | None = None
+
+
+def get_pool(jobs: int) -> PersistentPool:
+    """The shared pool, created lazily and grown to ``jobs`` workers."""
+    global _POOL
+    if _POOL is None or not _POOL.alive:
+        _POOL = PersistentPool(jobs)
+    else:
+        _POOL.grow(jobs)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the singleton (used by tests and the atexit hook)."""
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import re
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -77,6 +78,31 @@ class ExperimentResult:
         return [r.get(name) for r in self.rows]
 
 
+#: Default ``object.__repr__`` form: ``<pkg.Cls object at 0x7f...>``.
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
+
+
+def _canonical_repr(obj: Any) -> str:
+    """``repr`` fallback for :func:`config_hash`, rejecting unstable reprs.
+
+    An object that falls back to ``object.__repr__`` embeds its memory
+    address, so the "same" configuration would hash differently in
+    every process — memo entries shipped back from workers would
+    silently never hit. Raising here turns that silent cache miss into
+    a loud configuration error naming the offending payload field.
+    """
+    text = repr(obj)
+    if _ADDRESS_REPR.search(text):
+        raise ConfigError(
+            f"config_hash: field of type {type(obj).__name__!r} has an "
+            f"address-bearing repr ({text!r}); its hash would differ in "
+            "every process, so memoized sweep results could never be "
+            "shared. Give the type a stable __repr__ (e.g. make it a "
+            "dataclass) or pass primitive values instead."
+        )
+    return text
+
+
 def config_hash(payload: Any) -> str:
     """Deterministic hash of an experiment cell's configuration.
 
@@ -85,9 +111,15 @@ def config_hash(payload: Any) -> str:
     and returns a short SHA-256 hex digest. Two calls with equal
     configurations hash identically across processes and sessions,
     which is what makes :func:`sweep_map`'s memo safe to share.
+
+    Payload objects whose repr embeds a memory address (the default
+    ``object.__repr__``) are rejected with
+    :class:`~repro.errors.ConfigError`: such a hash would be unique per
+    process and the memo would silently never hit across workers.
     """
     canonical = json.dumps(
-        payload, sort_keys=True, default=repr, separators=(",", ":")
+        payload, sort_keys=True, default=_canonical_repr,
+        separators=(",", ":"),
     )
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
@@ -96,12 +128,32 @@ def config_hash(payload: Any) -> str:
 _SWEEP_MEMO: dict[str, Any] = {}
 _SWEEP_MEMO_MAX = 65536
 
+#: Parallel backends :func:`sweep_map` can fan cells out through.
+SWEEP_POOLS = ("persistent", "fork")
+
+
+def default_pool() -> str:
+    """The parallel backend used when ``pool`` is not given.
+
+    ``persistent`` (the shared-memory worker pool in
+    :mod:`repro.experiments.pool`) unless the ``REPRO_SWEEP_POOL``
+    environment variable selects ``fork``.
+    """
+    backend = os.environ.get("REPRO_SWEEP_POOL", "persistent")
+    if backend not in SWEEP_POOLS:
+        raise ConfigError(
+            f"REPRO_SWEEP_POOL must be one of {SWEEP_POOLS}, "
+            f"got {backend!r}"
+        )
+    return backend
+
 
 def sweep_map(
     fn: Callable[..., Any],
     cells: Sequence[tuple],
     jobs: int = 1,
     memo: dict[str, Any] | None = None,
+    pool: str | None = None,
 ) -> list[Any]:
     """Map ``fn`` over independent sweep cells, optionally in parallel.
 
@@ -121,10 +173,20 @@ def sweep_map(
         Optional explicit memo dict (config hash -> result). Defaults
         to a process-wide cache, so re-running a sweep with overlapping
         cells (e.g. ``repro-knl all``) skips finished work.
+    pool:
+        Parallel backend for ``jobs > 1``: ``"persistent"`` reuses the
+        process-lifetime shared-memory worker pool
+        (:mod:`repro.experiments.pool`, chunked dispatch, cheap per-cell
+        overhead), ``"fork"`` forks a fresh
+        :class:`~concurrent.futures.ProcessPoolExecutor` per call (one
+        pickle round-trip per cell). ``None`` uses :func:`default_pool`.
 
     Cells are memoized on ``config_hash((qualname, cell))``: equal
     configurations are computed once, including across drivers in the
-    same process.
+    same process. Cells that repeat *within* one call are deduplicated
+    before dispatch, so each unique configuration is computed exactly
+    once per call. The memo is bounded by ``_SWEEP_MEMO_MAX`` entries;
+    once full, new results are still returned but no longer cached.
 
     While a telemetry session is active the sweep runs every cell
     serially in-process and bypasses the memo: child processes cannot
@@ -134,6 +196,10 @@ def sweep_map(
     """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
+    if pool is not None and pool not in SWEEP_POOLS:
+        raise ConfigError(
+            f"pool must be one of {SWEEP_POOLS}, got {pool!r}"
+        )
     if _tm.current().enabled:
         return [fn(*cell) for cell in cells]
     if memo is None:
@@ -141,20 +207,41 @@ def sweep_map(
     name = getattr(fn, "__qualname__", repr(fn))
     keys = [config_hash((name, cell)) for cell in cells]
     results: list[Any] = [memo.get(k) for k in keys]
-    pending = [i for i, k in enumerate(keys) if k not in memo]
+    # Deduplicate by key: two identical cells in one call must compute
+    # once, not twice. ``pending`` maps each missing key to the first
+    # cell index that needs it.
+    pending: dict[str, int] = {}
+    for i, k in enumerate(keys):
+        if k not in memo and k not in pending:
+            pending[k] = i
     if pending:
+        indices = list(pending.values())
         if jobs > 1:
-            workers = min(jobs, len(pending), os.cpu_count() or 1)
-            with ProcessPoolExecutor(max_workers=workers) as ex:
-                futures = [ex.submit(fn, *cells[i]) for i in pending]
-                for i, fut in zip(pending, futures):
-                    results[i] = fut.result()
+            backend = pool or default_pool()
+            if backend == "persistent":
+                from repro.experiments.pool import get_pool
+
+                computed = get_pool(jobs).map(
+                    fn, [cells[i] for i in indices]
+                )
+            else:
+                workers = min(jobs, len(indices), os.cpu_count() or 1)
+                with ProcessPoolExecutor(max_workers=workers) as ex:
+                    futures = [ex.submit(fn, *cells[i]) for i in indices]
+                    computed = [fut.result() for fut in futures]
         else:
-            for i in pending:
-                results[i] = fn(*cells[i])
-        if len(memo) < _SWEEP_MEMO_MAX:
-            for i in pending:
-                memo[keys[i]] = results[i]
+            computed = [fn(*cells[i]) for i in indices]
+        computed_by_key = dict(zip(pending, computed))
+        for i, k in enumerate(keys):
+            if k in computed_by_key:
+                results[i] = computed_by_key[k]
+        # Warm the memo per key while under the cap — never overshoot
+        # it, and never drop the sweep's *returned* results even when
+        # the memo is full.
+        for k, value in computed_by_key.items():
+            if len(memo) >= _SWEEP_MEMO_MAX:
+                break
+            memo[k] = value
     return results
 
 

@@ -93,6 +93,17 @@ SORT_IO_RETRIES_TOTAL = "sort.io_retries_total"
 SORT_MERGE_FAN_IN = "sort.merge_fan_in"
 SORT_MEGACHUNKS_TOTAL = "sort.megachunks_total"
 
+# --- sweep runner pool (experiments.pool) ----------------------------------
+
+SWEEP_DISPATCH_SECONDS_TOTAL = "sweep.dispatch_seconds_total"
+SWEEP_IPC_WAIT_SECONDS_TOTAL = "sweep.ipc_wait_seconds_total"
+SWEEP_CELLS_TOTAL = "sweep.cells_total"
+SWEEP_CHUNKS_TOTAL = "sweep.chunks_total"
+SWEEP_CHUNK_CELLS = "sweep.chunk_cells"
+SWEEP_RESULTS_TOTAL = "sweep.results_total"
+SWEEP_RESPAWNS_TOTAL = "sweep.respawns_total"
+SWEEP_WORKERS = "sweep.workers"
+
 # --- faults and resilience (repro.faults, core.resilient) ------------------
 
 FAULTS_INJECTED_TOTAL = "faults.injected_total"
@@ -225,6 +236,43 @@ _METRIC_SPECS = [
     MetricSpec(
         SORT_MEGACHUNKS_TOTAL, "counter", "chunks",
         "Megachunks processed by MLM-sort variants.",
+    ),
+    MetricSpec(
+        SWEEP_DISPATCH_SECONDS_TOTAL, "counter", "seconds",
+        "Wall-clock seconds spent inside persistent-pool sweep "
+        "dispatch (chunking, IPC, reassembly).",
+    ),
+    MetricSpec(
+        SWEEP_IPC_WAIT_SECONDS_TOTAL, "counter", "seconds",
+        "Wall-clock seconds the sweep parent spent blocked waiting "
+        "for worker replies.",
+    ),
+    MetricSpec(
+        SWEEP_CELLS_TOTAL, "counter", "cells",
+        "Sweep cells dispatched to the persistent worker pool.",
+    ),
+    MetricSpec(
+        SWEEP_CHUNKS_TOTAL, "counter", "chunks",
+        "Cell batches dispatched to the persistent worker pool.",
+    ),
+    MetricSpec(
+        SWEEP_CHUNK_CELLS, "histogram", "cells",
+        "Distribution of cells per dispatched chunk.",
+    ),
+    MetricSpec(
+        SWEEP_RESULTS_TOTAL, "counter", "chunks",
+        "Chunk results returned, by transport (shared-memory ring "
+        "vs pickle fallback).",
+        labels=("transport",),
+    ),
+    MetricSpec(
+        SWEEP_RESPAWNS_TOTAL, "counter", "events",
+        "Sweep workers respawned after dying mid-run (their chunks "
+        "are resubmitted).",
+    ),
+    MetricSpec(
+        SWEEP_WORKERS, "gauge", "processes",
+        "Live worker processes in the persistent sweep pool.",
     ),
     MetricSpec(
         FAULTS_INJECTED_TOTAL, "counter", "events",

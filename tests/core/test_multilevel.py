@@ -121,6 +121,53 @@ class TestStrategies:
         t4 = make_pipe(data_gib=20, passes=4).run("direct").elapsed
         assert t4 == pytest.approx(4 * t1, rel=1e-6)
 
+    def test_background_outer_bytes_conserved_exactly(self):
+        """Per-step background shares must sum to the outer chunk size.
+
+        Uses a ragged data size so the even split leaves a residue;
+        the final inner step must flush it, keeping the spread integer
+        exact (no bytes lost to per-step floor, none double counted).
+        """
+        from repro.core.chunking import Chunker
+
+        cfg = ThreeLevelConfig(
+            data_bytes=int(20 * GiB) + 8,
+            outer_chunk_bytes=8 * GiB,
+            inner_chunk_bytes=3 * GiB,
+        )
+        pipe = ThreeLevelPipeline(
+            flat_node(), StreamKernel(passes=2), cfg
+        )
+        plan = pipe.build_plan("double")
+        totals: dict[str, float] = {}
+        for phase in plan.phases:
+            for flow in phase.flows:
+                if flow.name.startswith(("outer-in[", "outer-out[")):
+                    totals[flow.name] = (
+                        totals.get(flow.name, 0) + flow.bytes_total
+                    )
+        outer = Chunker(cfg.data_bytes, cfg.outer_chunk_bytes).chunks()
+        last = len(outer) - 1
+        for oc in outer:
+            if oc.index >= 1:  # staged in as background of the previous
+                assert totals[f"outer-in[{oc.index}]"] == oc.nbytes
+            if oc.index < last:  # staged out as background of the next
+                assert totals[f"outer-out[{oc.index}]"] == oc.nbytes
+        # Prime and drain phases carry the boundary chunks whole.
+        assert totals["outer-in[0]"] == outer[0].nbytes
+        assert totals["outer-out[last]"] == outer[last].nbytes
+
+    def test_nonpositive_nvm_bandwidth_rejected(self):
+        cfg = ThreeLevelConfig(data_bytes=int(10 * GiB))
+        for bad in (0.0, -5 * GB):
+            with pytest.raises(ConfigError):
+                ThreeLevelPipeline(
+                    flat_node(),
+                    StreamKernel(passes=1),
+                    cfg,
+                    nvm_bandwidth=bad,
+                )
+
     def test_custom_nvm_bandwidth(self):
         cfg = ThreeLevelConfig(data_bytes=int(20 * GiB))
         node = flat_node()

@@ -220,3 +220,28 @@ class TestFaults:
         a = run_faults(intensities=(0.5,))
         b = run_faults(intensities=(0.5,))
         assert a.rows == b.rows
+
+    def test_baseline_is_lowest_intensity_run(self):
+        """Without 0.0 in the sweep, slowdowns must normalize against
+        the lowest intensity actually run — not degrade to 1.0."""
+        from repro.experiments.extensions import run_faults
+
+        res = run_faults(intensities=(0.9, 0.5))
+        rows = {r["intensity"]: r for r in res.rows}
+        assert rows[0.5]["resilient_slowdown"] == 1.0
+        assert rows[0.5]["monolithic_slowdown"] == 1.0
+        assert rows[0.9]["monolithic_slowdown"] > 1.0
+        assert any("0.5" in note for note in res.notes)
+
+    def test_zero_baseline_has_no_note(self):
+        from repro.experiments.extensions import run_faults
+
+        res = run_faults(intensities=(0.0, 0.5))
+        assert not any("normalized against" in n for n in res.notes)
+
+    def test_empty_intensities_rejected(self):
+        from repro.errors import ConfigError
+        from repro.experiments.extensions import run_faults
+
+        with pytest.raises(ConfigError):
+            run_faults(intensities=())

@@ -32,6 +32,24 @@ class TestConfigHash:
         assert h1 != h2
         assert h1 == config_hash((UsageMode.FLAT, 1.5))
 
+    def test_rejects_address_bearing_repr(self):
+        class Opaque:  # default object.__repr__ embeds the address
+            pass
+
+        with pytest.raises(ConfigError, match="Opaque"):
+            config_hash(("f", (Opaque(),)))
+
+    def test_accepts_stable_custom_repr(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Stable:
+            x: int
+
+        assert config_hash(("f", (Stable(1),))) == config_hash(
+            ("f", (Stable(1),))
+        )
+
 
 class TestSweepMap:
     def test_serial_order_preserved(self):
@@ -56,6 +74,37 @@ class TestSweepMap:
     def test_bad_jobs_rejected(self):
         with pytest.raises(ConfigError):
             sweep_map(_cell, [(1, 1)], jobs=0)
+
+    def test_bad_pool_rejected(self):
+        with pytest.raises(ConfigError, match="pool"):
+            sweep_map(_cell, [(1, 1)], pool="threads")
+
+    def test_duplicate_cells_computed_once(self):
+        CALLS.clear()
+        out = sweep_map(_cell, [(7, 7), (7, 7), (8, 8), (7, 7)], memo={})
+        assert out == [77, 77, 88, 77]
+        assert len(CALLS) == 2  # (7, 7) deduplicated within the call
+
+    def test_memo_fills_to_cap_without_overshoot(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "_SWEEP_MEMO_MAX", 3)
+        memo: dict = {}
+        out = sweep_map(_cell, [(i, i) for i in range(5)], memo=memo)
+        # All five results come back even though only three fit the memo.
+        assert out == [0, 11, 22, 33, 44]
+        assert len(memo) == 3
+
+    def test_full_memo_still_serves_hits(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(runner, "_SWEEP_MEMO_MAX", 1)
+        memo: dict = {}
+        sweep_map(_cell, [(1, 1)], memo=memo)
+        CALLS.clear()
+        assert sweep_map(_cell, [(1, 1), (2, 2)], memo=memo) == [11, 22]
+        assert CALLS == [(2, 2)]  # the cached cell was not recomputed
+        assert len(memo) == 1
 
     def test_telemetry_session_forces_serial_and_bypasses_memo(self):
         memo: dict = {}
