@@ -10,7 +10,9 @@ module amortizes it the way the paper amortizes copies:
 * **Workers are spawned once per process lifetime** (lazily, sized by
   ``jobs``) and survive across :func:`sweep_map` calls and drivers.
 * **Cells are dispatched in chunks**, so the per-message IPC cost is
-  paid per chunk, not per cell.
+  paid per chunk, not per cell. Trailing chunk sizes taper (halving
+  toward the end of the sweep, floor 1) so one expensive tail cell
+  cannot serialize a full-size final chunk.
 * **Numeric results return through a shared-memory ring buffer** — one
   :class:`multiprocessing.shared_memory.SharedMemory` segment per
   worker, written as a single-producer/single-consumer ring of float64
@@ -332,6 +334,30 @@ class PersistentPool:
         per_worker = -(-ncells // (self.size * 4))
         return max(1, min(MAX_CHUNK_CELLS, per_worker))
 
+    @staticmethod
+    def chunk_spans(ncells: int, step: int) -> list[tuple[int, int]]:
+        """Chunk boundaries with a tapered tail, in dispatch order.
+
+        Leading chunks carry ``step`` cells; once at most ``2 * step``
+        cells remain, chunk sizes halve toward the end (floor 1). An
+        expensive trailing cell (figure7's 6B-element implicit cells
+        vs 125M) then serializes at most a small final chunk instead
+        of a full quarter-of-a-worker's-share, while the bulk of the
+        sweep still pays per-chunk IPC cost on big chunks. Spans are a
+        pure function of ``(ncells, step)``, so dispatch order and
+        reassembly stay deterministic.
+        """
+        spans: list[tuple[int, int]] = []
+        lo = 0
+        while ncells - lo > 2 * step:
+            spans.append((lo, lo + step))
+            lo += step
+        while lo < ncells:
+            size = max(1, min(step, (ncells - lo + 1) // 2))
+            spans.append((lo, lo + size))
+            lo += size
+        return spans
+
     def map(
         self,
         fn: Callable[..., Any],
@@ -350,8 +376,8 @@ class PersistentPool:
         self._ensure_workers()
         step = chunk_cells or self.chunk_size(len(cells))
         chunks: list[_Chunk] = []
-        for lo in range(0, len(cells), step):
-            indices = list(range(lo, min(lo + step, len(cells))))
+        for lo, hi in self.chunk_spans(len(cells), step):
+            indices = list(range(lo, hi))
             chunks.append(
                 _Chunk(
                     self._next_chunk_id,

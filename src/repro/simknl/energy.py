@@ -19,6 +19,9 @@ multilevel memory.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigError
 from repro.simknl.engine import RunResult
@@ -32,7 +35,7 @@ DEFAULT_ENERGY_PER_BYTE = {
 }
 
 #: Idle (background/refresh) power in watts charged for the run's
-#: duration, per device.
+#: duration, per device *present in the run*.
 DEFAULT_IDLE_POWER = {
     "mcdram": 5.0,
     "ddr": 8.0,
@@ -71,6 +74,15 @@ class EnergyModel:
     idle_power:
         Watts of background power per device, charged for the whole
         run duration.
+
+    Idle power is charged only for devices *present in the run* — a
+    device counts as present when it appears in ``result.traffic``
+    (the engine seeds a traffic entry for every attached resource,
+    moved bytes or not). A run on a node with no NVM device therefore
+    pays no NVM idle power. To model always-on hardware that the run's
+    resource set does not mention, pass an explicit ``devices=``
+    iterable to :meth:`report`/:meth:`report_many`: exactly those
+    devices (intersected with ``idle_power``) are charged.
     """
 
     def __init__(
@@ -93,16 +105,84 @@ class EnergyModel:
             if v < 0:
                 raise ConfigError(f"negative idle power for {name!r}")
 
-    def report(self, result: RunResult) -> EnergyReport:
-        """Energy breakdown for a completed run."""
+    def _idle_devices(
+        self, result: RunResult, devices: Iterable[str] | None
+    ) -> list[str]:
+        """Devices to charge idle power for, in ``idle_power`` order."""
+        if devices is None:
+            return [d for d in self.idle_power if d in result.traffic]
+        chosen = set(devices)
+        return [d for d in self.idle_power if d in chosen]
+
+    def report(
+        self, result: RunResult, devices: Iterable[str] | None = None
+    ) -> EnergyReport:
+        """Energy breakdown for a completed run.
+
+        ``devices`` overrides which devices pay idle power (see the
+        class docstring); by default only devices present in
+        ``result.traffic`` are charged.
+        """
         dynamic = {
             res: nbytes * self.energy_per_byte.get(res, 0.0)
             for res, nbytes in result.traffic.items()
         }
         idle = {
-            dev: watts * result.elapsed
-            for dev, watts in self.idle_power.items()
+            dev: self.idle_power[dev] * result.elapsed
+            for dev in self._idle_devices(result, devices)
         }
         return EnergyReport(
             dynamic_joules=dynamic, idle_joules=idle, elapsed=result.elapsed
         )
+
+    def report_many(
+        self,
+        results: Sequence[RunResult],
+        devices: Iterable[str] | None = None,
+    ) -> list[EnergyReport]:
+        """Vectorized :meth:`report` across many runs.
+
+        The joules computation runs as one NumPy multiply per resource
+        (and per idle device) across the whole result list instead of
+        one Python loop iteration per run — the fast path for the
+        ``energy`` driver's per-variant sweep. Values are bit-identical
+        to calling :meth:`report` on each result (elementwise IEEE
+        multiplies on the same operands).
+        """
+        results = list(results)
+        if not results:
+            return []
+        elapsed = np.asarray([r.elapsed for r in results], dtype=np.float64)
+        names: list[str] = []
+        seen: set[str] = set()
+        for r in results:
+            for res in r.traffic:
+                if res not in seen:
+                    seen.add(res)
+                    names.append(res)
+        dyn_cols = {
+            res: np.asarray(
+                [r.traffic.get(res, 0.0) for r in results],
+                dtype=np.float64,
+            )
+            * self.energy_per_byte.get(res, 0.0)
+            for res in names
+        }
+        idle_cols = {
+            dev: watts * elapsed for dev, watts in self.idle_power.items()
+        }
+        reports = []
+        for i, r in enumerate(results):
+            dynamic = {res: float(dyn_cols[res][i]) for res in r.traffic}
+            idle = {
+                dev: float(idle_cols[dev][i])
+                for dev in self._idle_devices(r, devices)
+            }
+            reports.append(
+                EnergyReport(
+                    dynamic_joules=dynamic,
+                    idle_joules=idle,
+                    elapsed=r.elapsed,
+                )
+            )
+        return reports

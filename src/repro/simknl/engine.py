@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.errors import PlanError, SimulationError
 from repro.faults import FaultInjector, FaultKind
 from repro.simknl.flows import Flow, Resource, allocate_rates
@@ -28,6 +30,11 @@ from repro.telemetry import names as _tn
 from repro.telemetry import runtime as _tm
 
 _EPS = 1e-12
+
+#: Minimum run of structurally identical static phases worth batching.
+#: Singletons stay on the reference path — the array setup would cost
+#: more than the loop it replaces.
+_MIN_GROUP = 2
 
 
 @dataclass
@@ -73,15 +80,72 @@ class Phase:
 
 
 @dataclass
+class _CompiledGroup:
+    """A run of consecutive ``static_rates`` phases sharing a flow
+    *structure* — identical live-flow signatures, only ``bytes_total``
+    varying — which is exactly the triple-buffered steady state the
+    Section 3 pipeline emits. The group can be solved with one
+    water-filling allocation and evaluated with array ops.
+
+    Attributes
+    ----------
+    start / count:
+        Phase-index range ``[start, start + count)`` in the plan.
+    flows:
+        Live-flow template (the first phase's live flows, positionally
+        representative of every phase in the group).
+    bytes_matrix:
+        ``(count, len(flows))`` float64 array of each phase's live-flow
+        byte demands, snapshotted at compile time.
+    resource_cols:
+        Per-resource ``(name, columns, multipliers)`` triples: which
+        flow columns touch the resource (in flow order) and with what
+        demand multiplier.
+    """
+
+    start: int
+    count: int
+    flows: list[Flow]
+    bytes_matrix: np.ndarray
+    resource_cols: list[tuple[str, list[int], np.ndarray]]
+
+
+def _compile_group(start: int, phases: list[Phase], lives: list[list[Flow]]) -> _CompiledGroup:
+    """Build the arrays for one structurally identical phase run."""
+    flows = lives[0]
+    bytes_matrix = np.array(
+        [[f.bytes_total for f in live] for live in lives], dtype=np.float64
+    )
+    resource_cols: list[tuple[str, list[int], np.ndarray]] = []
+    seen: dict[str, list[int]] = {}
+    for j, f in enumerate(flows):
+        for name in f.resources:
+            seen.setdefault(name, []).append(j)
+    for name, cols in seen.items():
+        mults = np.array(
+            [flows[j].resources[name] for j in cols], dtype=np.float64
+        )
+        resource_cols.append((name, cols, mults))
+    return _CompiledGroup(start, len(phases), flows, bytes_matrix, resource_cols)
+
+
+@dataclass
 class Plan:
     """An ordered, barrier-separated sequence of phases."""
 
     name: str
     phases: list[Phase] = field(default_factory=list)
+    _compiled: list | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _compiled_key: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add(self, phase: Phase) -> "Plan":
         """Append a phase and return self (chainable)."""
         self.phases.append(phase)
+        self._compiled = None
         return self
 
     def validate(self) -> None:
@@ -93,6 +157,82 @@ class Plan:
     def total_bytes(self) -> float:
         """Sum of logical bytes over all phases."""
         return sum(p.total_bytes for p in self.phases)
+
+    def compile(self, force: bool = False) -> list:
+        """Segment the plan for batched evaluation; cached per phase list.
+
+        Returns a list of segments, each either ``("ref", lo, hi)`` — a
+        phase-index range for the per-phase reference loop — or
+        ``("group", _CompiledGroup)`` — a run of ``>= 2`` consecutive
+        ``static_rates`` phases with identical live-flow signatures
+        that :meth:`Engine.run` can evaluate with one allocation and
+        NumPy array ops.
+
+        The compilation is cached and reused while the plan's phase
+        list is unchanged (``add()`` invalidates it); byte demands are
+        snapshotted at compile time, so callers that mutate a phase's
+        flows in place must recompile with ``force=True``.
+        """
+        key = tuple(map(id, self.phases))
+        if (
+            not force
+            and self._compiled is not None
+            and self._compiled_key == key
+        ):
+            return self._compiled
+        segments: list = []
+        ref_lo: int | None = None
+        run_lives: list[list[Flow]] = []
+        run_start = 0
+        run_key: tuple | None = None
+
+        def flush_run() -> None:
+            nonlocal ref_lo, run_lives, run_key
+            if len(run_lives) >= _MIN_GROUP:
+                if ref_lo is not None:
+                    segments.append(("ref", ref_lo, run_start))
+                    ref_lo = None
+                segments.append(
+                    (
+                        "group",
+                        _compile_group(
+                            run_start,
+                            self.phases[
+                                run_start:run_start + len(run_lives)
+                            ],
+                            run_lives,
+                        ),
+                    )
+                )
+            elif run_lives and ref_lo is None:
+                ref_lo = run_start
+            run_lives = []
+            run_key = None
+
+        for index, phase in enumerate(self.phases):
+            phase_key: tuple | None = None
+            live: list[Flow] = []
+            if phase.static_rates:
+                live = [f for f in phase.flows if f.bytes_total > 0]
+                if live:
+                    phase_key = tuple(f.signature for f in live)
+            if phase_key is None:
+                flush_run()
+                if ref_lo is None:
+                    ref_lo = index
+                run_start = index + 1
+                continue
+            if phase_key != run_key:
+                flush_run()
+                run_start = index
+                run_key = phase_key
+            run_lives.append(live)
+        flush_run()
+        if ref_lo is not None:
+            segments.append(("ref", ref_lo, len(self.phases)))
+        self._compiled = segments
+        self._compiled_key = key
+        return segments
 
 
 @dataclass
@@ -151,6 +291,7 @@ class Engine:
         record_events: bool = True,
         injector: FaultInjector | None = None,
         memoize_rates: bool = True,
+        batch_phases: bool = True,
     ) -> None:
         self.resources: dict[str, Resource] = {}
         for r in resources:
@@ -160,6 +301,14 @@ class Engine:
         self._nominal: dict[str, Resource] = dict(self.resources)
         self.record_events = record_events
         self.injector = injector
+        #: Compiled static-phase groups may be evaluated with NumPy
+        #: array ops (one water-filling solve per group). False keeps
+        #: every phase on the per-phase reference loop — the property
+        #: tests hold the two bit-identical.
+        self.batch_phases = batch_phases
+        #: Cumulative count of groups evaluated on the batched path
+        #: (observability + the fallback tests).
+        self.batched_groups = 0
         #: Water-filling solutions keyed by (resource, live-flow)
         #: signature. Sweeps re-run structurally identical phases
         #: thousands of times; the solve is skipped for every repeat.
@@ -307,42 +456,71 @@ class Engine:
             c_traffic = m.counter(_tn.ENGINE_TRAFFIC_BYTES_TOTAL)
             h_phase = m.histogram(_tn.ENGINE_PHASE_SECONDS)
 
-        for index, phase in enumerate(plan.phases):
-            stall = self._apply_phase_faults(
-                index, phase, clock, faults, pending_restores, events
-            )
-            if tel.enabled:
-                tel.events.emit(
-                    _tn.EVENT_PHASE_START,
-                    time=t0 + clock,
-                    plan=plan.name,
-                    phase=phase.name,
-                    index=index,
+        # The batched path can neither apply per-phase faults/hooks,
+        # emit telemetry, nor record flow-completion events, so any of
+        # those sends the whole run down the per-phase reference loop.
+        use_batched = (
+            self.batch_phases
+            and self.injector is None
+            and not self._phase_hooks
+            and not tel.enabled
+            and not self.record_events
+        )
+        if use_batched:
+            segments = plan.compile()
+        else:
+            segments = [("ref", 0, len(plan.phases))]
+
+        for segment in segments:
+            if segment[0] == "group":
+                group = segment[1]
+                batched = self._run_group(group, clock, traffic)
+                if batched is not None:
+                    times, clock = batched
+                    phase_times.extend(times)
+                    self.batched_groups += 1
+                    continue
+                # Starved flow: re-run on the reference loop, which
+                # raises the exact per-phase SimulationError.
+                segment = ("ref", group.start, group.start + group.count)
+            _, seg_lo, seg_hi = segment
+            for index in range(seg_lo, seg_hi):
+                phase = plan.phases[index]
+                stall = self._apply_phase_faults(
+                    index, phase, clock, faults, pending_restores, events
                 )
-                before = dict(traffic)
-            t = self._run_phase(
-                phase, clock + stall, traffic, events, tel, t0
-            ) + stall
-            phase_times.append(t)
-            clock += t
-            if tel.enabled:
-                c_phases.inc()
-                h_phase.observe(t)
-                if stall > 0:
-                    c_stall.inc(stall)
-                for name, total in traffic.items():
-                    moved = total - before.get(name, 0.0)
-                    if moved > 0:
-                        c_traffic.inc(moved, resource=name)
-                tel.events.emit(
-                    _tn.EVENT_PHASE_END,
-                    time=t0 + clock,
-                    plan=plan.name,
-                    phase=phase.name,
-                    index=index,
-                    seconds=t,
-                    stall_seconds=stall,
-                )
+                if tel.enabled:
+                    tel.events.emit(
+                        _tn.EVENT_PHASE_START,
+                        time=t0 + clock,
+                        plan=plan.name,
+                        phase=phase.name,
+                        index=index,
+                    )
+                    before = dict(traffic)
+                t = self._run_phase(
+                    phase, clock + stall, traffic, events, tel, t0
+                ) + stall
+                phase_times.append(t)
+                clock += t
+                if tel.enabled:
+                    c_phases.inc()
+                    h_phase.observe(t)
+                    if stall > 0:
+                        c_stall.inc(stall)
+                    for name, total in traffic.items():
+                        moved = total - before.get(name, 0.0)
+                        if moved > 0:
+                            c_traffic.inc(moved, resource=name)
+                    tel.events.emit(
+                        _tn.EVENT_PHASE_END,
+                        time=t0 + clock,
+                        plan=plan.name,
+                        phase=phase.name,
+                        index=index,
+                        seconds=t,
+                        stall_seconds=stall,
+                    )
 
         if tel.enabled:
             tel.metrics.counter(_tn.ENGINE_RUNS_TOTAL).inc()
@@ -452,6 +630,39 @@ class Engine:
                 f"phase {phase.name!r}: exceeded iteration bound"
             )
         return elapsed
+
+    def _run_group(
+        self,
+        group: _CompiledGroup,
+        clock: float,
+        traffic: dict[str, float],
+    ) -> tuple[list[float], float] | None:
+        """Evaluate a compiled static-phase group with array ops.
+
+        One water-filling solve covers the whole group (every phase has
+        the same live-flow structure); per-phase times are the row-max
+        of ``bytes_matrix / rates`` and per-resource traffic is
+        accumulated with :func:`numpy.cumsum`, whose strict
+        left-to-right association reproduces the reference loop's
+        ``+=`` chain bit for bit. Returns ``None`` when any flow would
+        starve — the caller re-runs those phases on the reference loop
+        so the usual :class:`SimulationError` is raised.
+        """
+        rates = np.asarray(self._allocate(group.flows), dtype=np.float64)
+        if np.any(rates <= 0.0):
+            return None
+        per_flow = group.bytes_matrix / rates
+        times = per_flow.max(axis=1)
+        for name, cols, mults in group.resource_cols:
+            contrib = group.bytes_matrix[:, cols] * mults
+            ordered = np.empty(contrib.size + 1, dtype=np.float64)
+            ordered[0] = traffic[name]
+            ordered[1:] = contrib.ravel()
+            traffic[name] = float(np.cumsum(ordered)[-1])
+        ticks = np.empty(times.size + 1, dtype=np.float64)
+        ticks[0] = clock
+        ticks[1:] = times
+        return times.tolist(), float(np.cumsum(ticks)[-1])
 
 
 def run_flows(

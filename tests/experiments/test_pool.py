@@ -135,6 +135,50 @@ class TestLifecycle:
         assert pool.chunk_size(16) == 2  # ~4 chunks per worker
 
 
+class TestChunkTaper:
+    """Trailing chunk sizes halve toward the end of the sweep, so one
+    expensive tail cell serializes at most a small final chunk."""
+
+    def test_spans_cover_cells_exactly_once(self):
+        for ncells in (1, 2, 5, 16, 63, 64, 65, 256, 1000):
+            for step in (1, 2, 7, 64):
+                spans = PersistentPool.chunk_spans(ncells, step)
+                covered = [i for lo, hi in spans for i in range(lo, hi)]
+                assert covered == list(range(ncells)), (ncells, step)
+
+    def test_tail_tapers_to_one(self):
+        spans = PersistentPool.chunk_spans(256, 64)
+        sizes = [hi - lo for lo, hi in spans]
+        assert sizes[:3] == [64, 64, 64]  # bulk keeps full chunks
+        assert sizes[3:] == [32, 16, 8, 4, 2, 1, 1]  # halving tail
+        assert sizes[-1] == 1
+
+    def test_taper_never_exceeds_step(self):
+        for ncells, step in ((500, 64), (130, 64), (40, 8)):
+            sizes = [
+                hi - lo
+                for lo, hi in PersistentPool.chunk_spans(ncells, step)
+            ]
+            assert max(sizes) <= step
+            assert min(sizes) >= 1
+            # the final chunk is always small: an expensive tail cell
+            # cannot serialize a full-size chunk behind it
+            assert sizes[-1] == 1
+
+    def test_deterministic(self):
+        assert PersistentPool.chunk_spans(777, 64) == (
+            PersistentPool.chunk_spans(777, 64)
+        )
+
+    def test_map_results_unaffected_by_taper(self):
+        cells = [(i, 3) for i in range(130)]
+        pool = get_pool(4)
+        out = pool.map(_scalar, cells)
+        assert out == [_scalar(*c) for c in cells]
+        # stats recorded the tapered sizes
+        assert pool.stats.chunk_cells[-1] == 1
+
+
 class TestFailure:
     def test_cell_exception_propagates(self):
         pool = get_pool(2)
@@ -200,13 +244,14 @@ class TestTelemetry:
             pool.map(_scalar, [(i, 0) for i in range(8)], chunk_cells=2)
         snap = tel.metrics.snapshot()
         assert snap[tn.SWEEP_CELLS_TOTAL]["series"][0]["value"] == 8.0
-        assert snap[tn.SWEEP_CHUNKS_TOTAL]["series"][0]["value"] == 4.0
+        # 8 cells at chunk_cells=2 taper as 2,2,2,1,1 -> 5 chunks
+        assert snap[tn.SWEEP_CHUNKS_TOTAL]["series"][0]["value"] == 5.0
         assert snap[tn.SWEEP_WORKERS]["series"][0]["value"] == 2.0
         transports = {
             tuple(s["labels"].items()): s["value"]
             for s in snap[tn.SWEEP_RESULTS_TOTAL]["series"]
         }
-        assert transports[(("transport", "shm"),)] == 4.0
+        assert transports[(("transport", "shm"),)] == 5.0
         assert snap[tn.SWEEP_DISPATCH_SECONDS_TOTAL]["series"][0][
             "value"
         ] > 0.0

@@ -62,6 +62,73 @@ class TestEnergyModel:
         )
 
 
+class TestIdleDevicePresence:
+    """Idle power is charged only for devices present in the run."""
+
+    def test_absent_device_pays_no_idle(self):
+        m = EnergyModel(
+            energy_per_byte={}, idle_power={"ddr": 8.0, "nvm": 1.0}
+        )
+        rep = m.report(result(elapsed=3.0))  # traffic: ddr + mcdram only
+        assert rep.idle_joules == {"ddr": pytest.approx(24.0)}
+        assert "nvm" not in rep.idle_joules
+
+    def test_present_zero_traffic_device_pays_idle(self):
+        """The engine seeds traffic entries for every attached resource,
+        so a device with zero moved bytes is still present hardware."""
+        m = EnergyModel(energy_per_byte={}, idle_power={"nvm": 1.0})
+        r = RunResult(
+            elapsed=2.0,
+            traffic={"ddr": 1e9, "nvm": 0.0},
+            phase_times=[2.0],
+        )
+        assert m.report(r).idle_joules == {"nvm": pytest.approx(2.0)}
+
+    def test_devices_override_charges_always_on_hardware(self):
+        m = EnergyModel(
+            energy_per_byte={}, idle_power={"ddr": 8.0, "nvm": 1.0}
+        )
+        rep = m.report(result(elapsed=2.0), devices=["nvm"])
+        assert rep.idle_joules == {"nvm": pytest.approx(2.0)}
+
+    def test_devices_override_ignores_unknown(self):
+        m = EnergyModel(energy_per_byte={}, idle_power={"ddr": 8.0})
+        rep = m.report(result(elapsed=1.0), devices=["ddr", "disk"])
+        assert rep.idle_joules == {"ddr": pytest.approx(8.0)}
+
+
+class TestReportMany:
+    def test_matches_scalar_report_bitwise(self):
+        m = EnergyModel()
+        results = [
+            result(ddr=1e9, mcdram=4e9, elapsed=1.5),
+            result(ddr=0.0, mcdram=7e9, elapsed=2.25),
+            RunResult(
+                elapsed=3.0,
+                traffic={"nvm": 5e9, "ddr": 1e9},
+                phase_times=[3.0],
+            ),
+        ]
+        singles = [m.report(r) for r in results]
+        batched = m.report_many(results)
+        for one, many in zip(singles, batched):
+            assert one.dynamic_joules == many.dynamic_joules
+            assert one.idle_joules == many.idle_joules
+            assert one.total_joules == many.total_joules
+            assert one.energy_delay_product == many.energy_delay_product
+
+    def test_devices_override_matches_scalar(self):
+        m = EnergyModel()
+        results = [result(elapsed=1.0), result(elapsed=2.0)]
+        singles = [m.report(r, devices=["nvm"]) for r in results]
+        batched = m.report_many(results, devices=["nvm"])
+        for one, many in zip(singles, batched):
+            assert one.idle_joules == many.idle_joules
+
+    def test_empty_list(self):
+        assert EnergyModel().report_many([]) == []
+
+
 class TestOnRealRuns:
     def test_implicit_cheaper_than_gnu(self):
         """Chunked MCDRAM-heavy execution saves energy vs DDR-heavy."""
