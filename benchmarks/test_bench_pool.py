@@ -38,6 +38,31 @@ def test_bench_pool_persistent_dispatch(benchmark):
     assert out == [_tiny(*c) for c in CELLS]
 
 
+def test_bench_pool_hardened_dispatch(benchmark):
+    """Dispatch with the chaos hook consulted (zero-probability plan):
+    the hardening machinery — deadline stamping, framing checks, the
+    per-dispatch injector call — must add no measurable overhead."""
+    from repro.experiments.chaos import (
+        HarnessFaultKind,
+        HarnessFaultPlan,
+        HarnessFaultSpec,
+    )
+
+    plan = HarnessFaultPlan(seed=0).add(
+        HarnessFaultSpec(
+            HarnessFaultKind.PIPE_DROP, at_dispatch=1 << 30
+        )
+    )
+    pool = get_pool(JOBS)
+    pool.map(_tiny, CELLS)  # warm
+    out = benchmark(
+        lambda: pool.map(_tiny, CELLS, chaos=plan.injector())
+    )
+    assert out == [_tiny(*c) for c in CELLS]
+    assert pool.stats.speculative == 0
+    assert pool.stats.ring_corrupt == 0
+
+
 def test_bench_pool_fork_dispatch(benchmark):
     out = benchmark.pedantic(
         lambda: sweep_map(_tiny, CELLS, jobs=JOBS, memo={}, pool="fork"),

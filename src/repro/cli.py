@@ -74,6 +74,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "seed for drivers with stochastic injection schedules "
+            "(faults, chaos); replaying a seed replays the identical "
+            "schedule. Ignored by deterministic drivers"
+        ),
+    )
+    parser.add_argument(
         "--metrics",
         metavar="PATH",
         help=(
@@ -125,6 +136,10 @@ def _run_all(args) -> None:
             kwargs["jobs"] = args.jobs
             if args.pool is not None:
                 kwargs["pool"] = args.pool
+        if args.seed is not None and getattr(
+            driver, "supports_seed", False
+        ):
+            kwargs["seed"] = args.seed
         _emit(driver(**kwargs), args)
 
 

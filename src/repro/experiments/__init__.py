@@ -18,6 +18,7 @@ together and format output.
 """
 
 from repro.experiments.runner import ExperimentResult, sort_variant_seconds
+from repro.experiments.chaos import run_chaos
 from repro.experiments.table1 import run_table1
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
@@ -61,6 +62,7 @@ EXTENSION_EXPERIMENTS = {
     "pollution": run_pollution,
     "adaptive": run_adaptive,
     "faults": run_faults,
+    "chaos": run_chaos,
 }
 
 ALL_EXPERIMENTS = {**PAPER_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -85,6 +87,7 @@ __all__ = [
     "run_faults",
     "run_pollution",
     "run_adaptive",
+    "run_chaos",
     "PAPER_EXPERIMENTS",
     "EXTENSION_EXPERIMENTS",
     "ALL_EXPERIMENTS",

@@ -712,3 +712,4 @@ run_faults.series_spec = SeriesSpec(
 )
 run_energy.supports_jobs = True
 run_faults.supports_jobs = True
+run_faults.supports_seed = True

@@ -21,12 +21,36 @@ module amortizes it the way the paper amortizes copies:
 * **Reassembly is deterministic**: chunks carry their cell indices, so
   results land in cell order regardless of completion order and a
   parallel sweep stays bit-identical to a serial one.
+
+The pool is hardened against production-style harness failures (the
+chaos suite in :mod:`repro.experiments.chaos` injects every one of
+them at fixed seeds):
+
 * **Worker death is survived**: a dead worker's already-delivered
-  results are drained, the worker is respawned with a fresh ring, and
-  its lost chunks are resubmitted. Per-chunk attempts are bounded; the
-  pool raises :class:`~repro.errors.RetryExhaustedError` (carrying the
-  attempt count, the :mod:`repro.faults` retry-accounting convention)
-  when a chunk keeps killing its workers.
+  results are drained, the worker is respawned with a fresh ring after
+  a bounded exponential backoff, and its lost chunks are resubmitted.
+  Per-chunk *delivered* attempts are bounded; the pool raises
+  :class:`~repro.errors.RetryExhaustedError` (carrying the attempt
+  count, the :mod:`repro.faults` retry-accounting convention) when a
+  chunk keeps killing its workers.
+* **Hung and slow workers are survived**: every dispatched chunk
+  carries a deadline derived from an online EWMA of observed per-cell
+  time. A chunk whose every outstanding assignment has blown its
+  deadline is speculatively resubmitted to another worker;
+  first-result-wins dedup through the ``completed`` set keeps the
+  sweep bit-identical. A worker that delivers nothing long after its
+  chunk completed elsewhere is declared hung and killed.
+* **Ring corruption is detected, not returned**: shm payloads carry a
+  per-worker sequence number and a CRC-32 of the raw float64 bytes. A
+  payload failing either check is discarded and the chunk refetched
+  over the type-exact pickle path.
+* **An unhealthy pool degrades instead of stalling**: a slot that
+  crash-loops past the circuit-breaker threshold, a call that exhausts
+  its respawn or deadline budget, or a pool making no progress at all
+  triggers graceful degradation — the remaining cells run in-process
+  serially (bit-identical, since cell order is deterministic), a
+  :class:`~repro.errors.DegradedModeWarning` is emitted, and the
+  workers are reset for the next call.
 
 Pool health is observable through :attr:`PersistentPool.stats` and,
 when a telemetry session is active at dispatch time, through the
@@ -40,6 +64,9 @@ from __future__ import annotations
 import atexit
 import os
 import time
+import warnings
+import weakref
+import zlib
 from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing.connection import Connection, wait
@@ -48,7 +75,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigError, RetryExhaustedError
+from repro.errors import ConfigError, DegradedModeWarning, RetryExhaustedError
 from repro.telemetry import names as _tn
 from repro.telemetry import runtime as _tm
 
@@ -63,12 +90,51 @@ _PREFETCH = 2
 MAX_CHUNK_CELLS = 64
 #: Hard cap on pool size, far above any sensible ``--jobs``.
 _MAX_WORKERS = 64
-#: Attempts per chunk before the pool gives up on a crash loop.
+#: Delivered attempts per chunk before the pool gives up on a crash
+#: loop (pipe failures that never reached a worker do not count).
 _MAX_CHUNK_ATTEMPTS = 3
+#: EWMA smoothing for the online per-cell time estimate.
+_EWMA_ALPHA = 0.2
 
 _CTX = get_context(
     "fork" if "fork" in get_all_start_methods() else "spawn"
 )
+
+#: Every live pool, so freshly forked workers can close inherited
+#: parent-side pipe fds regardless of which pool spawned them.
+_REGISTRY: "weakref.WeakSet[PersistentPool]" = weakref.WeakSet()
+
+
+@dataclass
+class ChunkCellsSummary:
+    """Bounded summary of chunk sizes dispatched over a pool's lifetime.
+
+    Replaces an unbounded per-chunk list: a process-lifetime pool
+    dispatches chunks forever, so the stats object keeps only
+    count/total/min/max (the ``sweep.chunk_cells`` histogram carries
+    the full distribution while a telemetry session is active).
+    """
+
+    count: int = 0
+    total: int = 0
+    min: int = 0
+    max: int = 0
+
+    def observe(self, ncells: int) -> None:
+        """Fold one dispatched chunk's cell count into the summary."""
+        if self.count == 0:
+            self.min = ncells
+            self.max = ncells
+        else:
+            self.min = min(self.min, ncells)
+            self.max = max(self.max, ncells)
+        self.count += 1
+        self.total += ncells
+
+    @property
+    def mean(self) -> float:
+        """Average cells per chunk (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
 
 
 @dataclass
@@ -78,7 +144,13 @@ class PoolStats:
     ``dispatch_seconds`` is total wall time inside :meth:`map`;
     ``ipc_wait_seconds`` the part of it spent blocked on worker
     replies. ``shm_results`` / ``pickle_results`` count chunks by
-    return transport.
+    return transport. The hardening counters mirror the ``sweep.*``
+    telemetry entries: ``deadline_expiries`` counts chunk assignments
+    that blew their deadline, ``speculative`` the resubmissions that
+    recovered them, ``ring_corrupt`` shm payloads that failed framing
+    validation, ``backoff_seconds`` the total respawn backoff
+    scheduled, and ``degraded_calls`` the :meth:`PersistentPool.map`
+    calls that fell back to in-process serial execution.
     """
 
     workers_spawned: int = 0
@@ -89,7 +161,12 @@ class PoolStats:
     pickle_results: int = 0
     dispatch_seconds: float = 0.0
     ipc_wait_seconds: float = 0.0
-    chunk_cells: list[int] = field(default_factory=list)
+    deadline_expiries: int = 0
+    speculative: int = 0
+    ring_corrupt: int = 0
+    backoff_seconds: float = 0.0
+    degraded_calls: int = 0
+    chunk_cells: ChunkCellsSummary = field(default_factory=ChunkCellsSummary)
 
 
 def _encode_numeric(results: list) -> tuple[np.ndarray, int] | None:
@@ -144,25 +221,39 @@ def _close_sibling_fds() -> None:
     A fork copies the parent's fd table, so a worker holds the parent
     ends of every *earlier* worker's pipe; while those copies stay
     open, a sibling's death never reads as EOF in the parent. The
-    forked child still sees the module-global pool object, so it can
-    close them all.
+    forked child still sees the live pool objects through the module
+    registry, so it can close them all — including the pipes of pools
+    other than its own (the chaos driver runs dedicated pools next to
+    the singleton).
     """
-    pool = _POOL
-    if pool is None:
-        return
-    for worker in pool._workers:
-        try:
-            worker.conn.close()
-        except OSError:
-            pass
+    for pool in list(_REGISTRY):
+        for worker in pool._workers:
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+
+def _payload_crc(values: np.ndarray) -> int:
+    """CRC-32 of a ring payload's raw float64 bytes."""
+    return zlib.crc32(values.tobytes()) & 0xFFFFFFFF
 
 
 def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
-    """Worker loop: pull chunk messages, push results until ``stop``."""
+    """Worker loop: pull chunk messages, push results until ``stop``.
+
+    Chunk messages optionally carry a chaos directive (see
+    :mod:`repro.experiments.chaos`) which the worker enacts on itself:
+    ``("kill",)`` exits hard, ``("hang",)`` stops consuming messages
+    while staying alive, ``("slow", s)`` sleeps ``s`` seconds before
+    each cell, and ``("corrupt",)`` scribbles on the shm payload after
+    checksumming it so the parent's framing check must catch it.
+    """
     _close_sibling_fds()
     shm = SharedMemory(name=shm_name)
     read_cursor, ring = _ring_views(shm)
     write_idx = 0
+    seq = 0
     try:
         while True:
             try:
@@ -175,9 +266,23 @@ def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
                 break
             if msg[0] == "stop":
                 break
-            _, chunk_id, fn, cells = msg
+            _, chunk_id, fn, cells, directive, force_pickle = msg
+            fault = directive[0] if directive else None
+            if fault == "kill":
+                os._exit(117)
+            if fault == "hang":
+                # Livelocked, not dead: stay alive but stop consuming.
+                while True:
+                    time.sleep(0.05)
             try:
-                results = [fn(*cell) for cell in cells]
+                if fault == "slow":
+                    delay = directive[1]
+                    results = []
+                    for cell in cells:
+                        time.sleep(delay)
+                        results.append(fn(*cell))
+                else:
+                    results = [fn(*cell) for cell in cells]
             except BaseException as exc:
                 try:
                     conn.send(("error", slot, chunk_id, exc))
@@ -192,10 +297,11 @@ def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
                         )
                     )
                 continue
-            encoded = _encode_numeric(results)
+            encoded = None if force_pickle else _encode_numeric(results)
             if encoded is not None and len(encoded[0]) <= RING_SLOTS:
                 values, cols = encoded
                 count = len(values)
+                crc = _payload_crc(values)
                 # SPSC flow control: monotonic cursors, parent advances
                 # the read cursor after consuming each payload.
                 while RING_SLOTS - (write_idx - int(read_cursor[0])) < count:
@@ -205,7 +311,14 @@ def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
                 ring[pos:pos + head] = values[:head]
                 if count > head:
                     ring[:count - head] = values[head:]
-                conn.send(("shm", slot, chunk_id, write_idx, count, cols))
+                if fault == "corrupt":
+                    # Flip one mantissa bit of the first slot, after
+                    # the checksum: a guaranteed byte-level mismatch.
+                    ring[pos:pos + 1].view(np.int64)[0] ^= 0x1
+                conn.send(
+                    ("shm", slot, chunk_id, write_idx, count, cols, seq, crc)
+                )
+                seq += 1
                 write_idx += count
             else:
                 try:
@@ -236,6 +349,12 @@ class _Worker:
     shm: SharedMemory
     read_header: np.ndarray
     ring: np.ndarray
+    #: Next shm sequence number expected from this worker.
+    seq_expected: int = 0
+    #: Monotonic time of the last message received from this worker.
+    last_result_at: float = 0.0
+    #: Harvested (conn closed, awaiting respawn) — not in the wait set.
+    dead: bool = False
 
 
 @dataclass
@@ -245,7 +364,26 @@ class _Chunk:
     chunk_id: int
     indices: list[int]
     cells: list[tuple]
+    #: Delivered attempts only: sends that reached a live worker.
     attempts: int = 0
+    #: Refetch over pickle after a ring-integrity failure.
+    force_pickle: bool = False
+    #: At least one speculative resubmission happened.
+    speculated: bool = False
+
+
+@dataclass
+class _Assignment:
+    """One (chunk, worker) dispatch awaiting a result."""
+
+    chunk: _Chunk
+    slot: int
+    sent_at: float
+    deadline_s: float
+    #: conn.send succeeded — the worker actually saw the chunk.
+    delivered: bool = False
+    #: Blew its deadline (or was superseded); no longer awaited.
+    expired: bool = False
 
 
 class PersistentPool:
@@ -253,17 +391,89 @@ class PersistentPool:
 
     Use :func:`get_pool` rather than constructing directly — the pool
     is meant to be a singleton whose spawn cost amortizes across every
-    sweep of the process.
+    sweep of the process. (The chaos driver is the exception: it
+    builds dedicated pools so injected faults cannot perturb sweeps
+    sharing the singleton.)
+
+    Parameters
+    ----------
+    size:
+        Worker count (capped at ``_MAX_WORKERS``).
+    deadline_factor:
+        A dispatched chunk's deadline is ``deadline_factor`` times the
+        EWMA-predicted chunk time; generous by default so legitimately
+        heavy cells speculate rarely.
+    min_deadline_s:
+        Deadline floor, so microsecond cells do not produce
+        millisecond deadlines that expire on scheduler jitter.
+    cold_deadline_s:
+        Deadline used before the first completed chunk seeds the EWMA.
+    hang_kill_factor:
+        A live worker is declared hung and killed once an assignment
+        is overdue by this multiple of its deadline *and* the chunk
+        already completed elsewhere *and* the worker has delivered
+        nothing since the send — it is provably contributing nothing.
+    backoff_base_s / backoff_max_s:
+        Exponential backoff bounds between respawns of the same slot.
+    breaker_respawns:
+        Consecutive respawns of one slot (no delivery in between) that
+        open the circuit breaker and degrade the call to serial.
+    stall_escape_s:
+        Hard ceiling on time with no progress at all before degrading;
+        defaults to ``max(4 * cold_deadline_s, 5.0)``.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(
+        self,
+        size: int,
+        *,
+        deadline_factor: float = 8.0,
+        min_deadline_s: float = 0.25,
+        cold_deadline_s: float = 30.0,
+        hang_kill_factor: float = 4.0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        breaker_respawns: int = 3,
+        stall_escape_s: float | None = None,
+    ) -> None:
         if size < 1:
             raise ConfigError(f"pool size must be >= 1, got {size}")
+        for name, value in (
+            ("deadline_factor", deadline_factor),
+            ("min_deadline_s", min_deadline_s),
+            ("cold_deadline_s", cold_deadline_s),
+            ("hang_kill_factor", hang_kill_factor),
+            ("backoff_base_s", backoff_base_s),
+            ("backoff_max_s", backoff_max_s),
+        ):
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if breaker_respawns < 1:
+            raise ConfigError(
+                f"breaker_respawns must be >= 1, got {breaker_respawns}"
+            )
         self.size = min(size, _MAX_WORKERS)
+        self.deadline_factor = deadline_factor
+        self.min_deadline_s = min_deadline_s
+        self.cold_deadline_s = cold_deadline_s
+        self.hang_kill_factor = hang_kill_factor
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.breaker_respawns = breaker_respawns
+        self.stall_escape_s = (
+            stall_escape_s
+            if stall_escape_s is not None
+            else max(4.0 * cold_deadline_s, 5.0)
+        )
         self.stats = PoolStats()
         self._workers: list[_Worker] = []
         self._next_chunk_id = 0
         self._closed = False
+        self._ewma_cell_s: float | None = None
+        self._slot_consecutive: dict[int, int] = {}
+        self._respawn_not_before: dict[int, float] = {}
+        self._last_chunks: list[_Chunk] = []
+        _REGISTRY.add(self)
 
     # ---- worker lifecycle --------------------------------------------------
 
@@ -284,6 +494,35 @@ class PersistentPool:
         child_conn.close()
         self.stats.workers_spawned += 1
         return _Worker(slot, process, parent_conn, shm, header, ring)
+
+    def _retire(self, worker: _Worker) -> None:
+        """Close a worker's parent-side resources (process may live)."""
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.kill()
+        worker.process.join(timeout=1.0)
+        worker.shm.close()
+        try:
+            worker.shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def _replace_worker(self, slot: int) -> None:
+        """Retire the worker in ``slot`` and spawn a fresh one."""
+        self._retire(self._workers[slot])
+        self._workers[slot] = self._spawn(slot)
+        self.stats.respawns += 1
+
+    def _reset_workers(self) -> None:
+        """Tear down every worker; the next call respawns lazily."""
+        for worker in self._workers:
+            self._retire(worker)
+        self._workers = []
+        self._slot_consecutive = {}
+        self._respawn_not_before = {}
 
     def _ensure_workers(self) -> None:
         if self._closed:
@@ -313,19 +552,30 @@ class PersistentPool:
                 pass
         for worker in self._workers:
             worker.process.join(timeout=1.0)
-            if worker.process.is_alive():
-                worker.process.kill()
-                worker.process.join(timeout=1.0)
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
-            worker.shm.close()
-            try:
-                worker.shm.unlink()
-            except FileNotFoundError:
-                pass
+            self._retire(worker)
         self._workers = []
+
+    # ---- adaptive deadlines ------------------------------------------------
+
+    def _deadline_s(self, ncells: int) -> float:
+        """Deadline for a fresh assignment of an ``ncells``-cell chunk."""
+        if self._ewma_cell_s is None:
+            return self.cold_deadline_s
+        return max(
+            self.min_deadline_s,
+            self.deadline_factor * self._ewma_cell_s * ncells,
+        )
+
+    def _observe_chunk(self, elapsed_s: float, ncells: int) -> None:
+        """Fold one completed chunk's timing into the EWMA estimate."""
+        per_cell = elapsed_s / max(1, ncells)
+        if self._ewma_cell_s is None:
+            self._ewma_cell_s = per_cell
+        else:
+            self._ewma_cell_s = (
+                _EWMA_ALPHA * per_cell
+                + (1.0 - _EWMA_ALPHA) * self._ewma_cell_s
+            )
 
     # ---- dispatch ----------------------------------------------------------
 
@@ -363,17 +613,32 @@ class PersistentPool:
         fn: Callable[..., Any],
         cells: Sequence[tuple],
         chunk_cells: int | None = None,
+        chaos: Any | None = None,
     ) -> list[Any]:
         """Map ``fn`` over ``cells`` on the pool, in cell order.
 
         Exceptions raised by ``fn`` propagate. A worker that dies
-        mid-chunk is respawned and the chunk resubmitted (bounded by
-        ``_MAX_CHUNK_ATTEMPTS``).
+        mid-chunk is respawned (with backoff) and the chunk
+        resubmitted; hung or slow workers are recovered by chunk
+        deadlines and speculative resubmission; corrupt shm payloads
+        are refetched over pickle; an unhealthy pool finishes the
+        sweep in-process serially under a
+        :class:`~repro.errors.DegradedModeWarning` instead of raising.
+
+        ``chaos``, when given, is a
+        :class:`repro.experiments.chaos.HarnessFaultInjector` consulted
+        once per chunk dispatch; its directives are injected into the
+        real workers.
         """
         if not cells:
             return []
         t_start = time.perf_counter()
         self._ensure_workers()
+        for slot, worker in enumerate(self._workers):
+            # Revive slots that died (or were hung-killed) between
+            # calls, so every sweep starts with a full complement.
+            if not worker.process.is_alive():
+                self._replace_worker(slot)
         step = chunk_cells or self.chunk_size(len(cells))
         chunks: list[_Chunk] = []
         for lo, hi in self.chunk_spans(len(cells), step):
@@ -386,17 +651,24 @@ class PersistentPool:
                 )
             )
             self._next_chunk_id += 1
+        self._last_chunks = chunks
         results: list[Any] = [None] * len(cells)
-        call = self._run_chunks(fn, chunks, results)
+        call = self._run_chunks(fn, chunks, results, chaos=chaos)
         call["dispatch_seconds"] = time.perf_counter() - t_start
         self.stats.cells += len(cells)
         self.stats.chunks += len(chunks)
-        self.stats.chunk_cells.extend(len(c.indices) for c in chunks)
+        for chunk in chunks:
+            self.stats.chunk_cells.observe(len(chunk.indices))
         self.stats.dispatch_seconds += call["dispatch_seconds"]
         self.stats.ipc_wait_seconds += call["ipc_wait_seconds"]
         self.stats.shm_results += call["shm_results"]
         self.stats.pickle_results += call["pickle_results"]
         self.stats.respawns += call["respawns"]
+        self.stats.deadline_expiries += call["deadline_expiries"]
+        self.stats.speculative += call["speculative"]
+        self.stats.ring_corrupt += call["ring_corrupt"]
+        self.stats.backoff_seconds += call["backoff_seconds"]
+        self.stats.degraded_calls += call["degraded"]
         self._emit_telemetry(chunks, call)
         return results
 
@@ -405,79 +677,354 @@ class PersistentPool:
         fn: Callable[..., Any],
         chunks: list[_Chunk],
         results: list[Any],
+        chaos: Any | None = None,
     ) -> dict[str, Any]:
         """Dispatch chunks, reassemble results; returns per-call stats."""
         todo = list(reversed(chunks))  # pop() from the front of the sweep
-        assigned: dict[int, dict[int, _Chunk]] = {
+        by_id = {c.chunk_id: c for c in chunks}
+        assigned: dict[int, dict[int, _Assignment]] = {
             w.slot: {} for w in self._workers
         }
+        inflight: dict[int, list[_Assignment]] = {}
         completed: set[int] = set()
         failure: BaseException | None = None
-        call = {
+        breaker_reason: str | None = None
+        dispatch_counter = 0
+        done = 0
+        last_progress = time.monotonic()
+        deadline_budget = max(16, 4 * len(chunks))
+        respawn_budget = max(8, 4 * self.size)
+        call: dict[str, Any] = {
             "ipc_wait_seconds": 0.0,
             "shm_results": 0,
             "pickle_results": 0,
             "respawns": 0,
+            "deadline_expiries": 0,
+            "speculative": 0,
+            "ring_corrupt": 0,
+            "backoff_seconds": 0.0,
+            "degraded": 0,
         }
+
+        def record_failure(exc: BaseException) -> None:
+            # Fail fast: keep the first error, abandon undispatched
+            # chunks, and only drain what is already in flight.
+            nonlocal failure, done
+            if failure is None:
+                failure = exc
+            while todo:
+                chunk = todo.pop()
+                if chunk.chunk_id not in completed:
+                    completed.add(chunk.chunk_id)
+                    done += 1
+
+        def send_chunk(slot: int, chunk: _Chunk) -> None:
+            nonlocal dispatch_counter
+            worker = self._workers[slot]
+            directive = None
+            if chaos is not None:
+                directive = chaos.on_dispatch(
+                    dispatch_counter, chunk.chunk_id
+                )
+            dispatch_counter += 1
+            prior = len(inflight.get(chunk.chunk_id, []))
+            assignment = _Assignment(
+                chunk,
+                slot,
+                time.monotonic(),
+                # Deadlines double per prior assignment so a chunk
+                # that is legitimately heavy (not hung) stops
+                # re-speculating once its deadline catches up.
+                self._deadline_s(len(chunk.cells)) * (2 ** min(prior, 8)),
+            )
+            assigned[slot][chunk.chunk_id] = assignment
+            inflight.setdefault(chunk.chunk_id, []).append(assignment)
+            if directive is not None and directive[0] == "drop":
+                return  # parent-enacted pipe loss: never sent
+            try:
+                worker.conn.send(
+                    (
+                        "run", chunk.chunk_id, fn, chunk.cells,
+                        directive, chunk.force_pickle,
+                    )
+                )
+            except (OSError, ValueError):
+                # Worker died under us before delivery; the deadline
+                # or the next harvest recovers the chunk. Not counted
+                # as an attempt: the worker never saw it.
+                return
+            assignment.delivered = True
+            chunk.attempts += 1
 
         def dispatch(slot: int) -> None:
             worker = self._workers[slot]
-            while todo and len(assigned[slot]) < _PREFETCH:
+            if worker.dead:
+                return
+            while (
+                todo
+                and failure is None
+                and len(assigned[slot]) < _PREFETCH
+            ):
                 chunk = todo.pop()
-                chunk.attempts += 1
-                assigned[slot][chunk.chunk_id] = chunk
-                try:
-                    worker.conn.send(
-                        ("run", chunk.chunk_id, fn, chunk.cells)
-                    )
-                except (OSError, ValueError):
-                    # Worker died under us; the next reap requeues the
-                    # chunk we just recorded as assigned.
-                    return
+                if chunk.chunk_id in completed:
+                    continue
+                if chunk.chunk_id in assigned[slot]:
+                    todo.append(chunk)
+                    break
+                send_chunk(slot, chunk)
 
         def fill() -> None:
             for slot in range(len(self._workers)):
                 dispatch(slot)
 
-        fill()
-        done = 0
-        while done < len(chunks):
-            t_wait = time.perf_counter()
-            ready = wait(
-                [w.conn for w in self._workers], timeout=0.25
+        def harvest(slot: int) -> None:
+            # One-shot teardown of an unusable worker (dead process or
+            # EOF pipe): drop it from the wait set, recover its
+            # chunks, schedule a backed-off respawn.
+            nonlocal breaker_reason
+            worker = self._workers[slot]
+            if worker.dead:
+                return
+            worker.dead = True
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            lost = list(assigned[slot].values())
+            assigned[slot].clear()
+            for assignment in lost:
+                assignment.expired = True
+            # Delivered-attempt exhaustion outranks breaker
+            # bookkeeping: a chunk that keeps killing workers is a
+            # poison chunk, not an unhealthy pool, and running it
+            # in-process serially would kill the parent too.
+            for assignment in lost:
+                chunk = assignment.chunk
+                if chunk.chunk_id in completed:
+                    continue
+                if chunk.attempts >= _MAX_CHUNK_ATTEMPTS:
+                    if chaos is None:
+                        self.shutdown()
+                        raise RetryExhaustedError(
+                            f"sweep chunk {chunk.chunk_id} killed its "
+                            f"worker {chunk.attempts} times "
+                            f"(cells {chunk.indices[0]}.."
+                            f"{chunk.indices[-1]})",
+                            attempts=chunk.attempts,
+                        )
+                    # Injected kills are not poison cells: degrade
+                    # so the chaotic sweep still completes.
+                    if breaker_reason is None:
+                        breaker_reason = (
+                            f"chunk {chunk.chunk_id} exhausted its "
+                            f"{chunk.attempts} delivered attempts "
+                            "under chaos injection"
+                        )
+            consecutive = self._slot_consecutive.get(slot, 0) + 1
+            self._slot_consecutive[slot] = consecutive
+            backoff = min(
+                self.backoff_max_s,
+                self.backoff_base_s * (2 ** (consecutive - 1)),
             )
+            self._respawn_not_before[slot] = time.monotonic() + backoff
+            call["backoff_seconds"] += backoff
+            if (
+                consecutive >= self.breaker_respawns
+                and breaker_reason is None
+            ):
+                breaker_reason = (
+                    f"worker slot {slot} crash-looped "
+                    f"({consecutive} consecutive respawns)"
+                )
+            requeue = []
+            for assignment in lost:
+                chunk = assignment.chunk
+                if chunk.chunk_id in completed or chunk in todo:
+                    continue
+                others = [
+                    a
+                    for a in inflight.get(chunk.chunk_id, [])
+                    if not a.expired
+                ]
+                if not others:
+                    requeue.append(chunk)
+            # Resubmit at the front so lost work finishes promptly.
+            todo.extend(reversed(requeue))
+
+        def respawn_due() -> None:
+            nonlocal breaker_reason
+            now = time.monotonic()
+            for slot, worker in enumerate(self._workers):
+                if not worker.dead:
+                    continue
+                if call["respawns"] >= respawn_budget:
+                    if breaker_reason is None:
+                        breaker_reason = (
+                            f"respawn budget exhausted "
+                            f"({call['respawns']} respawns this call)"
+                        )
+                    return
+                if now < self._respawn_not_before.get(slot, 0.0):
+                    continue
+                worker.process.join(timeout=0.5)
+                worker.shm.close()
+                try:
+                    worker.shm.unlink()
+                except FileNotFoundError:
+                    pass
+                self._workers[slot] = self._spawn(slot)
+                call["respawns"] += 1
+
+        def pick_speculation_slot(chunk_id: int) -> int | None:
+            best: int | None = None
+            best_load = None
+            for slot, worker in enumerate(self._workers):
+                if worker.dead or chunk_id in assigned[slot]:
+                    continue
+                load = len(assigned[slot])
+                if best_load is None or load < best_load:
+                    best, best_load = slot, load
+            return best
+
+        def scan() -> None:
+            # Expire blown deadlines, speculate dead chunks onto other
+            # workers, kill provably hung workers, watch for stalls.
+            nonlocal done, breaker_reason
+            now = time.monotonic()
+            for chunk_id, assignments in list(inflight.items()):
+                if chunk_id in completed:
+                    continue
+                for assignment in assignments:
+                    if (
+                        not assignment.expired
+                        and now - assignment.sent_at > assignment.deadline_s
+                    ):
+                        assignment.expired = True
+                        call["deadline_expiries"] += 1
+                if any(not a.expired for a in assignments):
+                    continue
+                if failure is not None:
+                    # Draining after an error: abandon, don't recover.
+                    completed.add(chunk_id)
+                    done += 1
+                    continue
+                if call["deadline_expiries"] > deadline_budget:
+                    if breaker_reason is None:
+                        breaker_reason = (
+                            "deadline budget exhausted "
+                            f"({call['deadline_expiries']} expiries "
+                            f"this call, budget {deadline_budget})"
+                        )
+                    continue
+                chunk = by_id[chunk_id]
+                if chunk in todo:
+                    continue  # queued for refetch; dispatch resends it
+                slot = pick_speculation_slot(chunk_id)
+                if slot is None:
+                    continue
+                call["speculative"] += 1
+                chunk.speculated = True
+                send_chunk(slot, chunk)
+            for slot, worker in enumerate(self._workers):
+                if worker.dead or not worker.process.is_alive():
+                    continue
+                for assignment in assigned[slot].values():
+                    overdue = now - assignment.sent_at
+                    if (
+                        assignment.expired
+                        and assignment.chunk.chunk_id in completed
+                        and worker.last_result_at < assignment.sent_at
+                        and overdue
+                        > self.hang_kill_factor * assignment.deadline_s
+                    ):
+                        # The chunk finished elsewhere and this worker
+                        # has delivered nothing since the send: it is
+                        # provably contributing nothing. Kill it; the
+                        # harvest/respawn path takes over.
+                        worker.process.kill()
+                        break
+            if (
+                done < len(chunks)
+                and now - last_progress > self.stall_escape_s
+                and breaker_reason is None
+            ):
+                breaker_reason = (
+                    f"no progress for {self.stall_escape_s:.1f}s"
+                )
+
+        def loop_timeout() -> float:
+            now = time.monotonic()
+            margin = 0.25
+            for chunk_id, assignments in inflight.items():
+                if chunk_id in completed:
+                    continue
+                for assignment in assignments:
+                    if assignment.expired:
+                        continue
+                    margin = min(
+                        margin,
+                        assignment.sent_at
+                        + assignment.deadline_s
+                        - now,
+                    )
+            return max(0.02, margin)
+
+        fill()
+        while done < len(chunks):
+            scan()
+            if breaker_reason is not None:
+                break
+            for slot, worker in enumerate(self._workers):
+                if not worker.dead and not worker.process.is_alive():
+                    harvest(slot)
+            if breaker_reason is not None:
+                break
+            respawn_due()
+            if breaker_reason is not None:
+                break
+            fill()
+            if done >= len(chunks):
+                break
+            conns = [w.conn for w in self._workers if not w.dead]
+            t_wait = time.perf_counter()
+            if conns:
+                ready = wait(conns, timeout=loop_timeout())
+            else:
+                time.sleep(0.01)
+                ready = []
             call["ipc_wait_seconds"] += time.perf_counter() - t_wait
-            if not ready:
-                call["respawns"] += self._reap_dead(assigned, todo)
-                fill()
-                continue
             for conn in ready:
                 worker = next(
-                    (w for w in self._workers if w.conn is conn), None
+                    (
+                        w
+                        for w in self._workers
+                        if w.conn is conn and not w.dead
+                    ),
+                    None,
                 )
                 if worker is None:
-                    continue  # conn replaced by a reap this iteration
+                    continue  # conn replaced by a respawn this round
                 try:
                     msg = conn.recv()
                 except (EOFError, OSError):
-                    call["respawns"] += self._reap_dead(assigned, todo)
-                    fill()
+                    harvest(worker.slot)
                     continue
+                now = time.monotonic()
+                worker.last_result_at = now
+                self._slot_consecutive[worker.slot] = 0
                 chunk_id = msg[2]
                 if msg[0] == "error":
-                    # First failure wins; later ones are duplicates of
-                    # the same sweep and are discarded with the run.
-                    if failure is None:
-                        failure = msg[3]
-                    assigned[worker.slot].pop(chunk_id, None)
+                    assignment = assigned[worker.slot].pop(chunk_id, None)
+                    if assignment is not None:
+                        assignment.expired = True
                     if chunk_id not in completed:
                         completed.add(chunk_id)
                         done += 1
-                    dispatch(worker.slot)
+                    record_failure(msg[3])
+                    last_progress = now
                     continue
-                chunk = assigned[worker.slot].pop(chunk_id, None)
                 if msg[0] == "shm":
-                    _, _, _, start, count, cols = msg
+                    _, _, _, start, count, cols, seq, crc = msg
                     pos = start % RING_SLOTS
                     head = min(count, RING_SLOTS - pos)
                     values = np.empty(count, dtype=np.float64)
@@ -485,59 +1032,95 @@ class PersistentPool:
                     if count > head:
                         values[head:] = worker.ring[:count - head]
                     worker.read_header[0] = start + count
+                    intact = (
+                        seq == worker.seq_expected
+                        and _payload_crc(values) == crc
+                    )
+                    worker.seq_expected = seq + 1
+                    assignment = assigned[worker.slot].pop(chunk_id, None)
+                    if assignment is not None:
+                        assignment.expired = True
+                    if not intact:
+                        call["ring_corrupt"] += 1
+                        chunk = by_id.get(chunk_id)
+                        if (
+                            chunk is not None
+                            and chunk_id not in completed
+                            and failure is None
+                            and chunk not in todo
+                        ):
+                            # Refetch over the type-exact pickle path;
+                            # the corrupt payload is discarded.
+                            chunk.force_pickle = True
+                            todo.append(chunk)
+                        dispatch(worker.slot)
+                        continue
                     payload = _decode_numeric(values, cols)
                     call["shm_results"] += 1
                 else:
                     payload = msg[3]
                     call["pickle_results"] += 1
+                    assignment = assigned[worker.slot].pop(chunk_id, None)
+                    if assignment is not None:
+                        assignment.expired = True
+                chunk = by_id.get(chunk_id)
                 if chunk is None or chunk_id in completed:
+                    # Stale (previous call) or duplicate (speculation
+                    # lost the race): payload consumed, result dropped.
                     dispatch(worker.slot)
                     continue
                 for index, value in zip(chunk.indices, payload):
                     results[index] = value
                 completed.add(chunk_id)
                 done += 1
+                last_progress = now
+                if assignment is not None and assignment.delivered:
+                    self._observe_chunk(
+                        now - assignment.sent_at, len(chunk.cells)
+                    )
                 dispatch(worker.slot)
+        if (
+            breaker_reason is not None
+            and failure is None
+            and done < len(chunks)
+        ):
+            self._degrade_serial(
+                fn, chunks, completed, results, breaker_reason, call
+            )
         if failure is not None:
             raise failure
         return call
 
-    def _reap_dead(
+    def _degrade_serial(
         self,
-        assigned: dict[int, dict[int, _Chunk]],
-        todo: list[_Chunk],
-    ) -> int:
-        """Respawn dead workers, requeue their chunks; returns respawns."""
-        respawned = 0
-        for slot, worker in enumerate(self._workers):
-            if worker.process.is_alive():
+        fn: Callable[..., Any],
+        chunks: list[_Chunk],
+        completed: set[int],
+        results: list[Any],
+        reason: str,
+        call: dict[str, Any],
+    ) -> None:
+        """Finish the sweep in-process; reset workers for the next call.
+
+        Cell order is deterministic, so the serial tail is
+        bit-identical to what the workers would have returned — the
+        sweep completes under a :class:`DegradedModeWarning` instead
+        of raising.
+        """
+        warnings.warn(
+            "sweep pool degraded to in-process serial execution: "
+            f"{reason}",
+            DegradedModeWarning,
+            stacklevel=4,
+        )
+        call["degraded"] = 1
+        for chunk in chunks:
+            if chunk.chunk_id in completed:
                 continue
-            lost = list(assigned[slot].values())
-            assigned[slot].clear()
-            for chunk in lost:
-                if chunk.attempts >= _MAX_CHUNK_ATTEMPTS:
-                    self.shutdown()
-                    raise RetryExhaustedError(
-                        f"sweep chunk {chunk.chunk_id} killed its "
-                        f"worker {chunk.attempts} times "
-                        f"(cells {chunk.indices[0]}..{chunk.indices[-1]})",
-                        attempts=chunk.attempts,
-                    )
-            try:
-                worker.conn.close()
-            except OSError:
-                pass
-            worker.process.join(timeout=0.5)
-            worker.shm.close()
-            try:
-                worker.shm.unlink()
-            except FileNotFoundError:
-                pass
-            self._workers[slot] = self._spawn(slot)
-            respawned += 1
-            # Resubmit at the front so lost work finishes promptly.
-            todo.extend(reversed(lost))
-        return respawned
+            for index, cell in zip(chunk.indices, chunk.cells):
+                results[index] = fn(*cell)
+            completed.add(chunk.chunk_id)
+        self._reset_workers()
 
     # ---- observability -----------------------------------------------------
 
@@ -569,6 +1152,13 @@ class PersistentPool:
         )
         m.counter(_tn.SWEEP_RESPAWNS_TOTAL).inc(call["respawns"])
         m.gauge(_tn.SWEEP_WORKERS).set(len(self._workers))
+        m.counter(_tn.SWEEP_DEADLINE_TOTAL).inc(call["deadline_expiries"])
+        m.counter(_tn.SWEEP_SPECULATIVE_TOTAL).inc(call["speculative"])
+        m.counter(_tn.SWEEP_RING_CORRUPT_TOTAL).inc(call["ring_corrupt"])
+        m.counter(_tn.SWEEP_BACKOFF_SECONDS_TOTAL).inc(
+            call["backoff_seconds"]
+        )
+        m.gauge(_tn.SWEEP_DEGRADED).set(call["degraded"])
 
 
 #: The process-wide pool singleton (``None`` until first use).

@@ -154,6 +154,7 @@ def sweep_map(
     jobs: int = 1,
     memo: dict[str, Any] | None = None,
     pool: str | None = None,
+    chaos: Any | None = None,
 ) -> list[Any]:
     """Map ``fn`` over independent sweep cells, optionally in parallel.
 
@@ -180,6 +181,12 @@ def sweep_map(
         overhead), ``"fork"`` forks a fresh
         :class:`~concurrent.futures.ProcessPoolExecutor` per call (one
         pickle round-trip per cell). ``None`` uses :func:`default_pool`.
+    chaos:
+        Optional :class:`repro.experiments.chaos.HarnessFaultInjector`
+        injecting harness faults into the sweep's workers. Requires
+        ``jobs > 1`` and the persistent backend, and bypasses the memo
+        entirely — a chaos run must exercise real dispatches, not
+        cache hits.
 
     Cells are memoized on ``config_hash((qualname, cell))``: equal
     configurations are computed once, including across drivers in the
@@ -200,6 +207,21 @@ def sweep_map(
         raise ConfigError(
             f"pool must be one of {SWEEP_POOLS}, got {pool!r}"
         )
+    if chaos is not None:
+        if jobs < 2:
+            raise ConfigError(
+                "chaos injection needs jobs > 1: harness faults hit "
+                "worker processes, and a serial sweep has none"
+            )
+        backend = pool or default_pool()
+        if backend != "persistent":
+            raise ConfigError(
+                "chaos injection targets the persistent pool; "
+                f"pool={backend!r} is not supported"
+            )
+        from repro.experiments.pool import get_pool
+
+        return get_pool(jobs).map(fn, list(cells), chaos=chaos)
     if _tm.current().enabled:
         return [fn(*cell) for cell in cells]
     if memo is None:

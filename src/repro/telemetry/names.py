@@ -103,6 +103,11 @@ SWEEP_CHUNK_CELLS = "sweep.chunk_cells"
 SWEEP_RESULTS_TOTAL = "sweep.results_total"
 SWEEP_RESPAWNS_TOTAL = "sweep.respawns_total"
 SWEEP_WORKERS = "sweep.workers"
+SWEEP_DEADLINE_TOTAL = "sweep.deadline_total"
+SWEEP_SPECULATIVE_TOTAL = "sweep.speculative_total"
+SWEEP_RING_CORRUPT_TOTAL = "sweep.ring_corrupt_total"
+SWEEP_BACKOFF_SECONDS_TOTAL = "sweep.backoff_seconds_total"
+SWEEP_DEGRADED = "sweep.degraded"
 
 # --- faults and resilience (repro.faults, core.resilient) ------------------
 
@@ -273,6 +278,31 @@ _METRIC_SPECS = [
     MetricSpec(
         SWEEP_WORKERS, "gauge", "processes",
         "Live worker processes in the persistent sweep pool.",
+    ),
+    MetricSpec(
+        SWEEP_DEADLINE_TOTAL, "counter", "events",
+        "Chunk dispatches that blew their per-chunk deadline (derived "
+        "from the pool's EWMA per-cell time estimate).",
+    ),
+    MetricSpec(
+        SWEEP_SPECULATIVE_TOTAL, "counter", "chunks",
+        "Deadline-blown chunks speculatively resubmitted to another "
+        "worker (first result wins; duplicates are discarded).",
+    ),
+    MetricSpec(
+        SWEEP_RING_CORRUPT_TOTAL, "counter", "payloads",
+        "Shared-memory ring payloads rejected by sequence/checksum "
+        "framing and refetched over the pickle path.",
+    ),
+    MetricSpec(
+        SWEEP_BACKOFF_SECONDS_TOTAL, "counter", "seconds",
+        "Seconds of exponential backoff scheduled between respawns of "
+        "the same worker slot.",
+    ),
+    MetricSpec(
+        SWEEP_DEGRADED, "gauge", "calls",
+        "Whether the most recent pool map call fell back to in-process "
+        "serial execution after its circuit breaker opened (0/1).",
     ),
     MetricSpec(
         FAULTS_INJECTED_TOTAL, "counter", "events",

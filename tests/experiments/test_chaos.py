@@ -1,0 +1,364 @@
+"""Tests for harness chaos injection and the pool's hardening.
+
+Every fault class is injected into real worker processes of a
+dedicated :class:`PersistentPool` (never the singleton — injected
+kills must not perturb other tests' pools), and the contract under
+test is always the same: the sweep completes bit-identical to serial
+execution.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError, DegradedModeWarning
+from repro.experiments.chaos import (
+    HarnessFaultInjector,
+    HarnessFaultKind,
+    HarnessFaultPlan,
+    HarnessFaultSpec,
+    run_chaos,
+)
+from repro.experiments.pool import PersistentPool
+from repro.experiments.runner import sweep_map
+from repro.telemetry import names as tn
+from repro.telemetry import runtime as _tm
+
+
+def _cell(i: int, k: float) -> float:
+    return i * 1.5 + k / 3.0
+
+
+def _pool(size: int = 2, **overrides) -> PersistentPool:
+    """A dedicated pool with chaos-friendly tight recovery timings."""
+    params = dict(
+        min_deadline_s=0.15,
+        cold_deadline_s=0.5,
+        hang_kill_factor=2.0,
+        backoff_base_s=0.02,
+        backoff_max_s=0.2,
+    )
+    params.update(overrides)
+    return PersistentPool(size, **params)
+
+
+def _one_shot(kind: HarnessFaultKind, **kw) -> HarnessFaultInjector:
+    plan = HarnessFaultPlan(seed=7).add(
+        HarnessFaultSpec(kind, at_dispatch=0, **kw)
+    )
+    return plan.injector()
+
+
+CELLS = [(i, 2.0) for i in range(24)]
+SERIAL = [_cell(*c) for c in CELLS]
+
+
+class TestSpecValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            HarnessFaultSpec(HarnessFaultKind.WORKER_KILL, probability=1.5)
+
+    def test_never_firing_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            HarnessFaultSpec(HarnessFaultKind.WORKER_KILL)
+
+    def test_negative_severity_rejected(self):
+        with pytest.raises(ConfigError):
+            HarnessFaultSpec(
+                HarnessFaultKind.WORKER_SLOW,
+                probability=0.5,
+                severity=-1.0,
+            )
+
+    def test_negative_at_dispatch_rejected(self):
+        with pytest.raises(ConfigError):
+            HarnessFaultSpec(HarnessFaultKind.PIPE_DROP, at_dispatch=-1)
+
+    def test_scaled_clamps_to_one(self):
+        plan = HarnessFaultPlan(0).add(
+            HarnessFaultSpec(HarnessFaultKind.WORKER_SLOW, probability=0.6)
+        )
+        assert plan.scaled(10.0).specs[0].probability == 1.0
+        with pytest.raises(ConfigError):
+            plan.scaled(-1.0)
+
+    def test_intensity_bounds(self):
+        with pytest.raises(ConfigError):
+            HarnessFaultPlan.chaos_suite(intensity=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        plan = HarnessFaultPlan.chaos_suite(seed=3, intensity=0.7)
+        a, b = plan.injector(), plan.injector()
+        verdicts_a = [a.on_dispatch(i, i) for i in range(200)]
+        verdicts_b = [b.on_dispatch(i, i) for i in range(200)]
+        assert verdicts_a == verdicts_b
+        assert a.events == b.events
+        assert a.counters.as_dict() == b.counters.as_dict()
+        assert a.counters.injected > 0
+
+    def test_draws_are_stateless_per_dispatch_index(self):
+        # Consulting extra (speculative) dispatch ordinals must not
+        # shift any other ordinal's verdict.
+        plan = HarnessFaultPlan.chaos_suite(seed=11, intensity=0.9)
+        a, b = plan.injector(), plan.injector()
+        sparse = {i: a.on_dispatch(i, 0) for i in range(0, 100, 7)}
+        for i in range(100):  # b consults every ordinal
+            verdict = b.on_dispatch(i, 0)
+            if i in sparse:
+                assert verdict == sparse[i]
+
+    def test_different_seeds_differ(self):
+        verdicts = []
+        for seed in (1, 2):
+            inj = HarnessFaultPlan.chaos_suite(
+                seed=seed, intensity=0.8
+            ).injector()
+            verdicts.append([inj.on_dispatch(i, 0) for i in range(100)])
+        assert verdicts[0] != verdicts[1]
+
+    def test_event_describe(self):
+        inj = _one_shot(HarnessFaultKind.WORKER_KILL)
+        inj.on_dispatch(0, 5)
+        assert "worker-kill" in inj.events[0].describe()
+        assert inj.counters.kills == 1
+
+
+class TestFaultClassesBitIdentical:
+    """Each fault class: the chaotic sweep equals serial execution."""
+
+    def test_worker_kill(self):
+        pool = _pool(2)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3,
+                chaos=_one_shot(HarnessFaultKind.WORKER_KILL),
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        # The killed worker was harvested and a backed-off respawn
+        # scheduled (the sweep may finish on the surviving worker
+        # before the respawn itself happens).
+        assert pool.stats.backoff_seconds > 0.0
+
+    def test_worker_hang(self):
+        pool = _pool(2)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3,
+                chaos=_one_shot(HarnessFaultKind.WORKER_HANG),
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        assert (
+            pool.stats.deadline_expiries >= 1
+            or pool.stats.degraded_calls >= 1
+        )
+
+    def test_worker_slow(self):
+        plan = HarnessFaultPlan(seed=5).add(
+            HarnessFaultSpec(
+                HarnessFaultKind.WORKER_SLOW,
+                probability=1.0,
+                severity=0.001,
+            )
+        )
+        pool = _pool(2)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3, chaos=plan.injector()
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+
+    def test_ring_corrupt(self):
+        pool = _pool(2)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3,
+                chaos=_one_shot(HarnessFaultKind.RING_CORRUPT),
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        assert pool.stats.ring_corrupt >= 1
+        # The refetch came back over the type-exact pickle path.
+        assert pool.stats.pickle_results >= 1
+
+    def test_every_payload_corrupt_still_completes(self):
+        plan = HarnessFaultPlan(seed=5).add(
+            HarnessFaultSpec(
+                HarnessFaultKind.RING_CORRUPT, probability=1.0
+            )
+        )
+        pool = _pool(2)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=4, chaos=plan.injector()
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        assert pool.stats.ring_corrupt >= 1
+
+    def test_pipe_drop(self):
+        pool = _pool(2)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3,
+                chaos=_one_shot(HarnessFaultKind.PIPE_DROP),
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        # Only the deadline recovers a dropped dispatch.
+        assert pool.stats.deadline_expiries >= 1
+        assert pool.stats.speculative >= 1
+
+
+class TestDeadlinesAndSpeculation:
+    def test_hung_worker_sweep_bounded_by_deadline(self):
+        pool = _pool(2, cold_deadline_s=0.4)
+        try:
+            t0 = time.monotonic()
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3,
+                chaos=_one_shot(HarnessFaultKind.WORKER_HANG),
+            )
+            wall = time.monotonic() - t0
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        # Without deadlines this would stall forever on the hung
+        # worker; the bound is a few deadline multiples plus slack,
+        # far below the old infinite wait.
+        assert wall < 15.0
+
+    def test_dropped_dispatch_does_not_burn_attempts(self):
+        pool = _pool(2, cold_deadline_s=0.3)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3,
+                chaos=_one_shot(HarnessFaultKind.PIPE_DROP),
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        chunks = pool._last_chunks
+        # The dropped send never reached a worker, so it must not
+        # count as an attempt; the speculative resend is the first
+        # (and only) delivered attempt.
+        assert all(c.attempts <= 1 for c in chunks)
+        assert any(c.speculated for c in chunks)
+
+    def test_healthy_sweep_never_speculates(self):
+        pool = _pool(2)
+        try:
+            out = pool.map(_cell, CELLS, chunk_cells=3)
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        assert pool.stats.speculative == 0
+        assert pool.stats.deadline_expiries == 0
+        assert pool.stats.ring_corrupt == 0
+        assert pool.stats.degraded_calls == 0
+
+
+class TestGracefulDegradation:
+    def test_breaker_opens_and_sweep_completes_serially(self):
+        plan = HarnessFaultPlan(seed=9).add(
+            HarnessFaultSpec(
+                HarnessFaultKind.WORKER_KILL, probability=1.0
+            )
+        )
+        pool = _pool(1, breaker_respawns=1)
+        try:
+            with pytest.warns(DegradedModeWarning):
+                out = pool.map(
+                    _cell, CELLS, chunk_cells=4, chaos=plan.injector()
+                )
+            assert out == SERIAL
+            assert pool.stats.degraded_calls == 1
+            # The pool reset itself: the next (healthy) call works.
+            again = pool.map(_cell, CELLS, chunk_cells=4)
+            assert again == SERIAL
+            assert pool.stats.degraded_calls == 1
+        finally:
+            pool.shutdown()
+
+    def test_degraded_gauge_and_counters_emitted(self):
+        plan = HarnessFaultPlan(seed=9).add(
+            HarnessFaultSpec(
+                HarnessFaultKind.WORKER_KILL, probability=1.0
+            )
+        )
+        pool = _pool(1, breaker_respawns=1)
+        try:
+            with _tm.telemetry_session() as tel:
+                with pytest.warns(DegradedModeWarning):
+                    pool.map(
+                        _cell, CELLS, chunk_cells=4,
+                        chaos=plan.injector(),
+                    )
+            snap = tel.metrics.snapshot()
+            assert snap[tn.SWEEP_DEGRADED]["series"][0]["value"] == 1.0
+            assert tn.SWEEP_DEADLINE_TOTAL in snap
+            assert tn.SWEEP_SPECULATIVE_TOTAL in snap
+            assert tn.SWEEP_RING_CORRUPT_TOTAL in snap
+            assert (
+                snap[tn.SWEEP_BACKOFF_SECONDS_TOTAL]["series"][0]["value"]
+                > 0.0
+            )
+        finally:
+            pool.shutdown()
+
+
+class TestSweepMapIntegration:
+    def test_chaos_requires_parallel_persistent(self):
+        inj = HarnessFaultPlan.chaos_suite(seed=0, intensity=0.5).injector()
+        with pytest.raises(ConfigError, match="jobs > 1"):
+            sweep_map(_cell, CELLS, chaos=inj)
+        with pytest.raises(ConfigError, match="persistent"):
+            sweep_map(_cell, CELLS, jobs=2, pool="fork", chaos=inj)
+
+    def test_chaos_run_bypasses_memo(self):
+        from repro.experiments.pool import shutdown_pool
+
+        shutdown_pool()
+        try:
+            memo: dict = {}
+            inj = _one_shot(HarnessFaultKind.RING_CORRUPT)
+            out = sweep_map(
+                _cell, CELLS, jobs=2, memo=memo,
+                pool="persistent", chaos=inj,
+            )
+            assert out == SERIAL
+            assert memo == {}  # chaos runs never warm the memo
+        finally:
+            shutdown_pool()
+
+
+class TestDriver:
+    def test_rejects_empty_intensities(self):
+        with pytest.raises(ConfigError):
+            run_chaos(intensities=())
+
+    def test_rejects_fork_pool(self):
+        with pytest.raises(ConfigError):
+            run_chaos(pool="fork")
+
+    def test_short_sweep_completes_at_all_intensities(self):
+        result = run_chaos(
+            seed=42, intensities=(0.0, 0.6), ncells=32, jobs=2
+        )
+        assert [r["intensity"] for r in result.rows] == [0.0, 0.6]
+        assert all(r["completed"] for r in result.rows)
+        chaotic = result.rows[1]
+        assert chaotic["injected"] > 0
+        assert result.column("slowdown")[0] == 1.0

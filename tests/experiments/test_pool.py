@@ -175,8 +175,11 @@ class TestChunkTaper:
         pool = get_pool(4)
         out = pool.map(_scalar, cells)
         assert out == [_scalar(*c) for c in cells]
-        # stats recorded the tapered sizes
-        assert pool.stats.chunk_cells[-1] == 1
+        # stats recorded the tapered sizes (bounded summary, not a list)
+        assert pool.stats.chunk_cells.min == 1
+        assert pool.stats.chunk_cells.max == pool.chunk_size(len(cells))
+        assert pool.stats.chunk_cells.total == len(cells)
+        assert pool.stats.chunk_cells.count == pool.stats.chunks
 
 
 class TestFailure:
