@@ -5,11 +5,18 @@ Usage::
     repro-knl table1              # or: python -m repro table1
     repro-knl figure8 --csv out.csv
     repro-knl table1 --metrics m.json --events e.perfetto.json
+    repro-knl figure7 --store results/   # warm the on-disk result store
+    repro-knl replay figure7 --store results/   # re-render, zero compute
     repro-knl all
 
 ``--metrics`` / ``--events`` run the experiment inside a telemetry
 session and write the snapshot/event log in the format implied by the
 file extension (see ``docs/OBSERVABILITY.md``).
+
+``--store`` backs the sweep memo with an on-disk result store so warm
+results survive across processes, and ``repro-knl replay <artifact>``
+re-renders a figure/table purely from such a store — zero engine
+invocations, byte-identical output (see ``docs/EXPERIMENTS_STORE.md``).
 
 Each subcommand regenerates one paper artifact (Tables 1-3, Figures
 6-8) or one extension driver.
@@ -20,9 +27,20 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import StoreError
 from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.report import render_series, render_table, to_csv
+from repro.experiments.runner import replay_session
+from repro.experiments.store import require_store
 from repro.telemetry import telemetry_session, write_events, write_metrics
+
+#: Artifacts whose drivers resolve entirely through the result store,
+#: hence can be re-rendered by ``repro-knl replay``.
+REPLAYABLE = tuple(
+    name
+    for name, driver in ALL_EXPERIMENTS.items()
+    if getattr(driver, "supports_replay", False)
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,8 +54,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=[*ALL_EXPERIMENTS, "all"],
-        help="which table/figure to regenerate",
+        choices=[*ALL_EXPERIMENTS, "all", "replay"],
+        help=(
+            "which table/figure to regenerate, 'all' for every driver, "
+            "or 'replay' to re-render an artifact purely from a warm "
+            "result store"
+        ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help=(
+            "artifact to replay (only with 'replay'): one of "
+            f"{', '.join(REPLAYABLE)}"
+        ),
     )
     parser.add_argument(
         "--csv",
@@ -71,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
             "dispatch, low per-cell overhead), 'fork' forks a fresh "
             "process pool per sweep. Default: persistent (or "
             "$REPRO_SWEEP_POOL)"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help=(
+            "on-disk result store backing the sweep memo: warm results "
+            "survive across processes and feed 'replay'. Defaults to "
+            "$REPRO_STORE when set (see docs/EXPERIMENTS_STORE.md)"
         ),
     )
     parser.add_argument(
@@ -124,7 +165,31 @@ def _emit(result, args) -> None:
                 fh.write(text)
 
 
+def _run_replay(args) -> None:
+    """Re-render one artifact purely from the result store."""
+    if args.target is None:
+        raise StoreError(
+            f"replay needs a target artifact: one of {', '.join(REPLAYABLE)}"
+        )
+    if args.target not in REPLAYABLE:
+        raise StoreError(
+            f"cannot replay {args.target!r}: only store-backed drivers "
+            f"support replay ({', '.join(REPLAYABLE)})"
+        )
+    store = require_store(args.store)
+    with replay_session(store):
+        _emit(ALL_EXPERIMENTS[args.target](), args)
+
+
 def _run_all(args) -> None:
+    if args.experiment == "replay":
+        _run_replay(args)
+        return
+    if args.target is not None:
+        raise StoreError(
+            "a target artifact is only valid with 'replay' "
+            f"(got {args.experiment} {args.target})"
+        )
     names = (
         list(ALL_EXPERIMENTS) if args.experiment == "all"
         else [args.experiment]
@@ -136,6 +201,10 @@ def _run_all(args) -> None:
             kwargs["jobs"] = args.jobs
             if args.pool is not None:
                 kwargs["pool"] = args.pool
+        if args.store is not None and getattr(
+            driver, "supports_store", False
+        ):
+            kwargs["store"] = args.store
         if args.seed is not None and getattr(
             driver, "supports_seed", False
         ):
@@ -146,15 +215,19 @@ def _run_all(args) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.metrics or args.events:
-        with telemetry_session() as tel:
+    try:
+        if args.metrics or args.events:
+            with telemetry_session() as tel:
+                _run_all(args)
+            if args.metrics:
+                write_metrics(args.metrics, tel)
+            if args.events:
+                write_events(args.events, tel)
+        else:
             _run_all(args)
-        if args.metrics:
-            write_metrics(args.metrics, tel)
-        if args.events:
-            write_events(args.events, tel)
-    else:
-        _run_all(args)
+    except StoreError as exc:
+        print(f"repro-knl: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

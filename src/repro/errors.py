@@ -82,6 +82,33 @@ class RingIntegrityError(FaultError):
         self.chunk_id = chunk_id
 
 
+class StoreError(ReproError):
+    """The on-disk result store cannot satisfy a request
+    (see :mod:`repro.experiments.store`)."""
+
+
+class StoreMissError(StoreError):
+    """A replay found cells missing from the result store.
+
+    Replay mode (``repro-knl replay``) renders artifacts purely from
+    stored results — it never invokes the engine — so a cold store is
+    a hard error, not a silent recompute. The message and
+    :attr:`missing` name every absent ``config_hash`` so the user can
+    warm the store with the corresponding normal run.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description naming the sweep function.
+    missing:
+        The ``config_hash`` keys absent from the store.
+    """
+
+    def __init__(self, message: str, missing: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.missing = tuple(missing)
+
+
 class DegradedModeWarning(UserWarning):
     """A graceful-degradation path was taken: the operation succeeded,
     but on a slower device, with fewer threads, or after retries."""

@@ -17,7 +17,12 @@ together and format output.
 =============  ====================================================
 """
 
-from repro.experiments.runner import ExperimentResult, sort_variant_seconds
+from repro.experiments.runner import (
+    ExperimentResult,
+    replay_session,
+    sort_variant_seconds,
+)
+from repro.experiments.store import ResultStore, get_store
 from repro.experiments.chaos import run_chaos
 from repro.experiments.table1 import run_table1
 from repro.experiments.figure6 import run_figure6
@@ -69,6 +74,9 @@ ALL_EXPERIMENTS = {**PAPER_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
 
 __all__ = [
     "ExperimentResult",
+    "ResultStore",
+    "get_store",
+    "replay_session",
     "sort_variant_seconds",
     "run_table1",
     "run_figure6",

@@ -5,6 +5,8 @@ Fig. 6(a) covers randomized inputs, Fig. 6(b) reverse-sorted inputs.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.algorithms.costs import SortCostModel
 from repro.experiments.paperdata import TABLE1_SECONDS
 from repro.experiments.runner import (
@@ -22,6 +24,7 @@ def run_figure6(
     orders: tuple[str, ...] = ("random", "reverse"),
     jobs: int = 1,
     pool: str | None = None,
+    store: Any | None = None,
 ) -> ExperimentResult:
     """Speedup of each variant over GNU-flat, per size and order."""
     cells = [
@@ -33,7 +36,10 @@ def run_figure6(
     times = dict(
         zip(
             cells,
-            sweep_map(sort_variant_seconds, cells, jobs=jobs, pool=pool),
+            sweep_map(
+                sort_variant_seconds, cells,
+                jobs=jobs, pool=pool, store=store,
+            ),
         )
     )
     rows = []
@@ -76,3 +82,5 @@ def run_figure6(
 
 run_figure6.series_spec = SeriesSpec("algorithm", ("speedup",))
 run_figure6.supports_jobs = True
+run_figure6.supports_store = True
+run_figure6.supports_replay = True

@@ -9,6 +9,8 @@ keeps improving as the megachunk exceeds MCDRAM capacity.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
 from repro.core.modes import UsageMode
@@ -52,6 +54,7 @@ def run_figure7(
     chunks: tuple[int, ...] = DEFAULT_CHUNKS,
     jobs: int = 1,
     pool: str | None = None,
+    store: Any | None = None,
 ) -> ExperimentResult:
     """Time vs chunk size for MLM-sort in flat, hybrid, and implicit."""
     cells: list[tuple] = []
@@ -65,7 +68,7 @@ def run_figure7(
             labels.append((mega, "hybrid_s"))
         cells.append((UsageMode.IMPLICIT, n, mega, cost))
         labels.append((mega, "implicit_s"))
-    times = sweep_map(_variant_time, cells, jobs=jobs, pool=pool)
+    times = sweep_map(_variant_time, cells, jobs=jobs, pool=pool, store=store)
     by_chunk: dict[int, dict] = {
         mega: {"chunk_elements": mega} for mega in chunks
     }
@@ -90,3 +93,5 @@ run_figure7.series_spec = SeriesSpec(
     "chunk_elements", ("flat_s", "implicit_s")
 )
 run_figure7.supports_jobs = True
+run_figure7.supports_store = True
+run_figure7.supports_replay = True

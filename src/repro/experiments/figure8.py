@@ -8,6 +8,8 @@ the buffered pipeline on the simulated node.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.algorithms.merge_bench import MergeBenchConfig, run_merge_bench
 from repro.errors import ConfigError
 from repro.experiments.runner import ExperimentResult, SeriesSpec, sweep_map
@@ -46,6 +48,7 @@ def run_figure8(
     total_threads: int = 256,
     jobs: int = 1,
     pool: str | None = None,
+    store: Any | None = None,
 ) -> ExperimentResult:
     """Model (8a) and empirical (8b) time curves."""
     cells = [
@@ -59,7 +62,10 @@ def run_figure8(
             "empirical_s": emp_t,
         }
         for (r, p, _), (model_t, emp_t) in zip(
-            cells, sweep_map(_figure8_cell, cells, jobs=jobs, pool=pool)
+            cells,
+            sweep_map(
+                _figure8_cell, cells, jobs=jobs, pool=pool, store=store
+            ),
         )
     ]
     return ExperimentResult(
@@ -79,3 +85,5 @@ run_figure8.series_spec = SeriesSpec(
     "copy_threads", ("model_s", "empirical_s")
 )
 run_figure8.supports_jobs = True
+run_figure8.supports_store = True
+run_figure8.supports_replay = True

@@ -57,6 +57,13 @@ when a telemetry session is active at dispatch time, through the
 ``sweep.*`` metrics in the telemetry catalog. (:func:`sweep_map` itself
 runs serially under a session — see its docstring — so those metrics
 are populated by direct :meth:`PersistentPool.map` use.)
+
+Workers only *report* results over the ring/pipe; they never touch
+the on-disk result store (:mod:`repro.experiments.store`). The parent
+persists reassembled results after :meth:`PersistentPool.map` returns
+— in :func:`sweep_map`'s write-through — so concurrent workers cannot
+race on store files and a degraded-serial tail is persisted exactly
+like a healthy parallel sweep.
 """
 
 from __future__ import annotations

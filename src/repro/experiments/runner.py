@@ -5,28 +5,36 @@
 node configuration and timed plan; :class:`ExperimentResult` is the
 uniform record every driver returns; :func:`sweep_map` fans a sweep's
 independent cells out across worker processes with deterministic
-ordering and config-hash memoization.
+ordering and two-tier config-hash memoization (in-memory dict first,
+then the on-disk :mod:`~repro.experiments.store` result store);
+:func:`replay_session` switches :func:`sweep_map` into pure-lookup
+replay, the engine-free re-render mode behind ``repro-knl replay``.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import re
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
-from repro.errors import AllocationError, ConfigError
+from repro.errors import AllocationError, ConfigError, StoreMissError
 from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
 from repro.algorithms.parallel_sort import gnu_sort_plan
 from repro.core.modes import UsageMode
 from repro.memkind.allocator import Heap
 from repro.memkind.kinds import MEMKIND_DEFAULT, MEMKIND_HBW_PREFERRED
+from repro.experiments.store import ResultStore, default_store, get_store
 from repro.simknl.engine import RunResult
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.telemetry import names as _tn
 from repro.telemetry import runtime as _tm
 from repro.units import INT64
 
@@ -128,6 +136,96 @@ def config_hash(payload: Any) -> str:
 _SWEEP_MEMO: dict[str, Any] = {}
 _SWEEP_MEMO_MAX = 65536
 
+#: One-time flag for the memo-capacity warning (reset only by tests).
+_MEMO_CAP_WARNED = False
+
+
+def _memo_insert(memo: dict[str, Any], key: str, value: Any) -> bool:
+    """Cache one result, visibly dropping it when the memo is full.
+
+    The cap used to be enforced silently — a long-lived process whose
+    sweeps stopped memoizing gave no signal at all. A drop now emits a
+    one-time :class:`UserWarning` plus a ``sweep.memo_evicted_total``
+    increment per dropped entry while a telemetry session is active.
+    Returns whether the entry was cached.
+    """
+    global _MEMO_CAP_WARNED
+    if key in memo:
+        return True
+    if len(memo) < _SWEEP_MEMO_MAX:
+        memo[key] = value
+        return True
+    if not _MEMO_CAP_WARNED:
+        _MEMO_CAP_WARNED = True
+        warnings.warn(
+            f"sweep_map memo reached its cap of {_SWEEP_MEMO_MAX} "
+            "entries; new results are computed but no longer cached "
+            "in memory (counted by sweep.memo_evicted_total; the "
+            "on-disk result store, when configured, still caches "
+            "them)",
+            stacklevel=3,
+        )
+    tel = _tm.current()
+    if tel.enabled:
+        tel.metrics.counter(_tn.SWEEP_MEMO_EVICTED_TOTAL).inc()
+    return False
+
+
+#: The store :func:`replay_session` is replaying from (None = normal).
+_REPLAY: ContextVar[ResultStore | None] = ContextVar(
+    "repro_replay_store", default=None
+)
+
+
+@contextlib.contextmanager
+def replay_session(
+    store: ResultStore | str | os.PathLike,
+) -> Iterator[ResultStore]:
+    """Run the enclosed block in pure-replay mode.
+
+    Inside the block every :func:`sweep_map` call resolves its cells
+    from ``store`` alone — the in-memory memo is bypassed (so the
+    outcome does not depend on what this process happened to compute
+    earlier) and the cell function is **never invoked**. Cells absent
+    from the store raise :class:`~repro.errors.StoreMissError` listing
+    the missing ``config_hash`` keys. Because drivers are
+    deterministic and stored floats round-trip bit-identically, a
+    replayed artifact is byte-identical to a fresh run over the same
+    configuration.
+    """
+    resolved = get_store(store)
+    token = _REPLAY.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _REPLAY.reset(token)
+
+
+def _replay_lookup(
+    store: ResultStore, name: str, cells: Sequence[tuple]
+) -> list[Any]:
+    """Resolve every cell from the store or fail listing the misses."""
+    keys = [config_hash((name, cell)) for cell in cells]
+    results: list[Any] = [None] * len(cells)
+    missing: list[str] = []
+    for i, key in enumerate(keys):
+        found, value = store.get(key, fn=name)
+        if found:
+            results[i] = value
+        elif key not in missing:
+            missing.append(key)
+    if missing:
+        shown = ", ".join(missing[:10])
+        more = f", ... ({len(missing) - 10} more)" if len(missing) > 10 else ""
+        raise StoreMissError(
+            f"replay: store {store.root} is missing {len(missing)} of "
+            f"{len(set(keys))} cells for {name} [{shown}{more}]; warm "
+            "it by running the experiment once with the same --store",
+            missing=tuple(missing),
+        )
+    return results
+
+
 #: Parallel backends :func:`sweep_map` can fan cells out through.
 SWEEP_POOLS = ("persistent", "fork")
 
@@ -155,6 +253,7 @@ def sweep_map(
     memo: dict[str, Any] | None = None,
     pool: str | None = None,
     chaos: Any | None = None,
+    store: ResultStore | str | os.PathLike | None = None,
 ) -> list[Any]:
     """Map ``fn`` over independent sweep cells, optionally in parallel.
 
@@ -184,22 +283,43 @@ def sweep_map(
     chaos:
         Optional :class:`repro.experiments.chaos.HarnessFaultInjector`
         injecting harness faults into the sweep's workers. Requires
-        ``jobs > 1`` and the persistent backend, and bypasses the memo
-        entirely — a chaos run must exercise real dispatches, not
-        cache hits.
+        ``jobs > 1`` and the persistent backend, and bypasses both
+        memo tiers entirely — a chaos run must exercise real
+        dispatches, not cache hits.
+    store:
+        On-disk second memo tier: a
+        :class:`~repro.experiments.store.ResultStore` or a directory
+        path. ``None`` uses the process default from the
+        ``REPRO_STORE`` environment variable (no store when unset).
 
-    Cells are memoized on ``config_hash((qualname, cell))``: equal
-    configurations are computed once, including across drivers in the
-    same process. Cells that repeat *within* one call are deduplicated
-    before dispatch, so each unique configuration is computed exactly
-    once per call. The memo is bounded by ``_SWEEP_MEMO_MAX`` entries;
-    once full, new results are still returned but no longer cached.
+    Cells are memoized on ``config_hash((qualname, cell))`` through a
+    **two-tier lookup**: the in-memory memo first, then the on-disk
+    result store; a cell missing from both is computed, returned, and
+    written through to both tiers (workers report results over IPC;
+    the parent persists them), and a memo hit the store lacks is
+    backfilled to disk — so any sweep run with a store leaves that
+    store replay-complete, even for cells an earlier store-less call
+    already memoized. Equal configurations are therefore
+    computed once — across drivers in the same process via the memo,
+    and across processes and CI runs via the store. Cells that repeat
+    *within* one call are deduplicated before dispatch. The memo is
+    bounded by ``_SWEEP_MEMO_MAX`` entries; once full, new results are
+    still returned but no longer cached in memory (a one-time warning
+    plus ``sweep.memo_evicted_total`` make the drops visible), while
+    the store keeps accepting them under its own LRU bound.
 
-    While a telemetry session is active the sweep runs every cell
-    serially in-process and bypasses the memo: child processes cannot
-    feed the parent's metric registry, and a memo hit would skip the
-    cell's instrumentation side effects — either way the collected
-    metrics would silently diverge from a plain serial run.
+    Inside a :func:`replay_session` none of the above happens: every
+    cell is resolved from the replay store alone and a missing cell
+    raises :class:`~repro.errors.StoreMissError` — the cell function
+    is never invoked.
+
+    While a telemetry session is active (and no replay is) the sweep
+    runs every cell serially in-process and bypasses both *read*
+    tiers: child processes cannot feed the parent's metric registry,
+    and a cache hit would skip the cell's instrumentation side effects
+    — either way the collected metrics would silently diverge from a
+    plain serial run. Computed results are still written through to
+    both tiers (writes have no instrumentation to skip).
     """
     if jobs < 1:
         raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -207,6 +327,10 @@ def sweep_map(
         raise ConfigError(
             f"pool must be one of {SWEEP_POOLS}, got {pool!r}"
         )
+    name = getattr(fn, "__qualname__", repr(fn))
+    replay = _REPLAY.get()
+    if replay is not None:
+        return _replay_lookup(replay, name, cells)
     if chaos is not None:
         if jobs < 2:
             raise ConfigError(
@@ -222,11 +346,19 @@ def sweep_map(
         from repro.experiments.pool import get_pool
 
         return get_pool(jobs).map(fn, list(cells), chaos=chaos)
-    if _tm.current().enabled:
-        return [fn(*cell) for cell in cells]
+    tier2 = get_store(store) if store is not None else default_store()
     if memo is None:
         memo = _SWEEP_MEMO
-    name = getattr(fn, "__qualname__", repr(fn))
+    if _tm.current().enabled:
+        results = [fn(*cell) for cell in cells]
+        # Write-through only: instrumentation already ran, so caching
+        # the results for later (non-session) sweeps loses nothing.
+        for cell, value in zip(cells, results):
+            key = config_hash((name, cell))
+            _memo_insert(memo, key, value)
+            if tier2 is not None:
+                tier2.put(key, value, fn=name)
+        return results
     keys = [config_hash((name, cell)) for cell in cells]
     results: list[Any] = [memo.get(k) for k in keys]
     # Deduplicate by key: two identical cells in one call must compute
@@ -236,6 +368,28 @@ def sweep_map(
     for i, k in enumerate(keys):
         if k not in memo and k not in pending:
             pending[k] = i
+    if tier2 is not None:
+        # Backfill: a cell this process already memoized may predate
+        # the store (e.g. an earlier driver in `repro-knl all --store`
+        # computed it store-less). A memo hit must still leave the
+        # store replay-complete.
+        backfilled: set[str] = set()
+        for k in keys:
+            if k in memo and k not in backfilled:
+                backfilled.add(k)
+                if not tier2.contains(k):
+                    tier2.put(k, memo[k], fn=name)
+    if pending and tier2 is not None:
+        # Second tier: resolve what the in-memory memo lacks from the
+        # on-disk store, warming the memo for the rest of the process.
+        for k in list(pending):
+            found, value = tier2.get(k, fn=name)
+            if found:
+                del pending[k]
+                _memo_insert(memo, k, value)
+                for i, key in enumerate(keys):
+                    if key == k:
+                        results[i] = value
     if pending:
         indices = list(pending.values())
         if jobs > 1:
@@ -257,13 +411,12 @@ def sweep_map(
         for i, k in enumerate(keys):
             if k in computed_by_key:
                 results[i] = computed_by_key[k]
-        # Warm the memo per key while under the cap — never overshoot
-        # it, and never drop the sweep's *returned* results even when
-        # the memo is full.
+        # Warm both tiers. The memo drops (visibly) at its cap; the
+        # store enforces its own LRU bound.
         for k, value in computed_by_key.items():
-            if len(memo) >= _SWEEP_MEMO_MAX:
-                break
-            memo[k] = value
+            _memo_insert(memo, k, value)
+            if tier2 is not None:
+                tier2.put(k, value, fn=name)
     return results
 
 

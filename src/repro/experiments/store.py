@@ -1,0 +1,436 @@
+"""On-disk experiment result store: the sweep memo's second tier.
+
+:func:`~repro.experiments.runner.sweep_map` memoizes cell results on
+:func:`~repro.experiments.runner.config_hash`, but the in-memory memo
+dies with the process — every new CI run, figure re-render, and
+analysis session pays the full simulation cost again. This module
+persists the same ``config_hash -> result`` mapping on disk so warm
+results survive across processes bit-identically, the cache-and-replay
+experiment workflow of delphyne's experiments README (SNIPPETS.md §1):
+run once against a store, then re-render any artifact purely from the
+cached results.
+
+Layout (``docs/EXPERIMENTS_STORE.md`` is the user guide)::
+
+    <root>/v1/<hh>/<config_hash>.json
+
+* ``v1`` is the layout version; an incompatible future layout gets a
+  new directory and old entries are simply never consulted.
+* ``<hh>`` is the first two hex digits of the key, sharding entries so
+  no directory grows unboundedly.
+* Each entry file is a single JSON object carrying a per-entry
+  ``schema`` stamp, the full key, the producing function's qualname,
+  and the encoded result value.
+
+Durability and safety properties:
+
+* **Atomic writes.** Entries are written to a temp file in the shard
+  directory and published with :func:`os.replace`, so a reader never
+  observes a half-written entry and two processes racing to write the
+  same key (deterministic cells produce identical bytes) both land a
+  complete file.
+* **Corruption tolerance.** A load that fails to parse, fails its
+  schema/key/function checks, or fails value decoding is *skipped and
+  reported* (``store.corrupt_total``, :attr:`StoreStats.corrupt`, one
+  warning per store instance) — never raised. The entry is treated as
+  a miss and the next write replaces it.
+* **Bounded size.** The store holds at most ``max_entries`` entries
+  (``REPRO_STORE_MAX_ENTRIES``, default 65536). Hits refresh an
+  entry's mtime, and :meth:`ResultStore.gc` evicts
+  least-recently-used entries once the bound is exceeded — LRU in the
+  same spirit as the in-memory tier's cap, but visible
+  (``store.evictions_total``).
+
+Only JSON-representable results (floats, ints, bools, strings,
+``None``, and lists/tuples/str-keyed dicts of those) are persisted;
+tuples round-trip type-exactly through a tagged encoding, and floats
+round-trip bit-identically through ``repr``-based JSON serialization.
+A cell returning anything else is computed normally and simply never
+cached on disk.
+
+Telemetry: the ``store.*`` metric family (hits/misses/writes/
+evictions/corrupt counters and a bytes gauge) is emitted while a
+session is active; :attr:`ResultStore.stats` keeps the same counts
+unconditionally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigError, StoreError
+from repro.telemetry import names as _tn
+from repro.telemetry import runtime as _tm
+
+#: Per-entry schema stamp; bump when the entry dict shape changes.
+SCHEMA_VERSION = 1
+#: On-disk layout version directory; bump when the file layout changes.
+LAYOUT = "v1"
+#: Default entry bound (matches the in-memory memo's cap).
+DEFAULT_MAX_ENTRIES = 65536
+
+#: Tag key marking a tuple in the JSON value encoding.
+_TUPLE_TAG = "__tuple__"
+
+#: Per-process serial for temp-file names: the PID alone is not unique
+#: enough — two *threads* writing the same key would share a temp path
+#: and one ``os.replace`` would steal the other's file.
+_TMP_SERIAL = itertools.count()
+
+
+class _Unstorable(Exception):
+    """A result value has no faithful JSON encoding (internal)."""
+
+
+def _encode_value(value: Any) -> Any:
+    """JSON-ready encoding of a cell result, or raise :class:`_Unstorable`.
+
+    Floats/ints/bools/strings/``None`` pass through (JSON round-trips
+    finite floats bit-identically via shortest-repr); tuples become
+    ``{"__tuple__": [...]}`` so decoding is type-exact; lists and
+    str-keyed dicts recurse. Everything else is unstorable.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, dict):
+        if any(not isinstance(k, str) or k == _TUPLE_TAG for k in value):
+            raise _Unstorable(value)
+        return {k: _encode_value(v) for k, v in value.items()}
+    raise _Unstorable(value)
+
+
+def _decode_value(value: Any) -> Any:
+    """Inverse of :func:`_encode_value`."""
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if set(value) == {_TUPLE_TAG}:
+            return tuple(_decode_value(v) for v in value[_TUPLE_TAG])
+        return {k: _decode_value(v) for k, v in value.items()}
+    return value
+
+
+@dataclass
+class StoreStats:
+    """Cumulative counters of one :class:`ResultStore` instance.
+
+    Mirrors the ``store.*`` telemetry family, but counts
+    unconditionally so scripts can report cache behavior without a
+    telemetry session.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    unstorable: int = 0
+
+
+class ResultStore:
+    """A ``config_hash``-keyed, file-backed result store.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing). The same
+        directory can be shared by concurrent writers — writes are
+        atomic and deterministic cells produce identical entries.
+    max_entries:
+        LRU bound on stored entries, enforced by :meth:`gc` after each
+        write. ``None`` falls back to ``REPRO_STORE_MAX_ENTRIES`` or
+        :data:`DEFAULT_MAX_ENTRIES`.
+    """
+
+    def __init__(
+        self, root: str | os.PathLike, max_entries: int | None = None
+    ) -> None:
+        if max_entries is None:
+            raw = os.environ.get("REPRO_STORE_MAX_ENTRIES")
+            max_entries = int(raw) if raw else DEFAULT_MAX_ENTRIES
+        if max_entries < 1:
+            raise ConfigError(
+                f"store max_entries must be >= 1, got {max_entries}"
+            )
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        self._dir = self.root / LAYOUT
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._count: int | None = None  # lazily scanned
+        self._bytes = 0
+        self._warned_corrupt = False
+
+    # ---- bookkeeping -------------------------------------------------------
+
+    def _entry_paths(self) -> list[Path]:
+        return [
+            p
+            for shard in sorted(self._dir.iterdir())
+            if shard.is_dir()
+            for p in sorted(shard.glob("*.json"))
+        ]
+
+    def _ensure_scanned(self) -> None:
+        """Count pre-existing entries once, on first write/GC."""
+        if self._count is not None:
+            return
+        count = 0
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+                count += 1
+            except OSError:
+                continue  # concurrently evicted
+        self._count = count
+        self._bytes = total
+
+    def entries(self) -> int:
+        """Number of entries currently in the store."""
+        self._ensure_scanned()
+        assert self._count is not None
+        return self._count
+
+    def nbytes(self) -> int:
+        """Approximate total size of stored entries, in bytes."""
+        self._ensure_scanned()
+        return self._bytes
+
+    def _path(self, key: str) -> Path:
+        return self._dir / key[:2] / f"{key}.json"
+
+    def _report_corrupt(self, path: Path, why: str) -> None:
+        self.stats.corrupt += 1
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.STORE_CORRUPT_TOTAL).inc()
+        if not self._warned_corrupt:
+            self._warned_corrupt = True
+            warnings.warn(
+                f"result store {self.root}: skipping corrupt entry "
+                f"{path.name} ({why}); further corrupt entries in this "
+                "store are counted silently (see store.corrupt_total / "
+                "StoreStats.corrupt)",
+                stacklevel=4,
+            )
+
+    def _set_bytes_gauge(self) -> None:
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.gauge(_tn.STORE_BYTES).set(self._bytes)
+
+    # ---- lookup ------------------------------------------------------------
+
+    def get(self, key: str, fn: str | None = None) -> tuple[bool, Any]:
+        """Look up one entry; returns ``(found, value)``.
+
+        ``fn``, when given, must match the qualname recorded at write
+        time — a hash collision across functions (or a store shared by
+        incompatible code) reads as corruption, not as a hit. A hit
+        refreshes the entry's mtime, which is the LRU clock
+        :meth:`gc` evicts by.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, NotADirectoryError):
+            self._miss()
+            return False, None
+        except OSError as exc:
+            self._report_corrupt(path, f"unreadable: {exc}")
+            self._miss()
+            return False, None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+            if entry.get("schema") != SCHEMA_VERSION:
+                raise ValueError(
+                    f"schema {entry.get('schema')!r} != {SCHEMA_VERSION}"
+                )
+            if entry.get("key") != key:
+                raise ValueError(f"key {entry.get('key')!r} != {key!r}")
+            if fn is not None and entry.get("fn") != fn:
+                raise ValueError(f"fn {entry.get('fn')!r} != {fn!r}")
+            if "value" not in entry:
+                raise ValueError("no value field")
+            value = _decode_value(entry["value"])
+        except (ValueError, TypeError, KeyError) as exc:
+            self._report_corrupt(path, str(exc))
+            self._miss()
+            return False, None
+        try:
+            os.utime(path)  # LRU touch
+        except OSError:
+            pass  # concurrently evicted; the value is still good
+        self.stats.hits += 1
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.STORE_HITS_TOTAL).inc()
+        return True, value
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key``.
+
+        A plain existence probe — no validation, no stats, no LRU
+        touch. Used to decide whether an in-memory hit still needs to
+        be backfilled to disk.
+        """
+        return self._path(key).exists()
+
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.STORE_MISSES_TOTAL).inc()
+
+    # ---- write -------------------------------------------------------------
+
+    def put(self, key: str, value: Any, fn: str = "") -> bool:
+        """Persist one entry atomically; returns False if unstorable.
+
+        The entry is serialized to a temp file in its shard directory
+        and published with :func:`os.replace`, so concurrent readers
+        and writers never see partial entries. Exceeding
+        ``max_entries`` triggers an LRU :meth:`gc`.
+        """
+        try:
+            encoded = _encode_value(value)
+        except _Unstorable:
+            self.stats.unstorable += 1
+            return False
+        self._ensure_scanned()
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "fn": fn,
+            "value": encoded,
+        }
+        data = json.dumps(entry, separators=(",", ":")) + "\n"
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / (
+            f".{key}.{os.getpid()}.{next(_TMP_SERIAL)}.tmp"
+        )
+        try:
+            tmp.write_text(data, encoding="utf-8")
+            existed = path.exists()
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        if not existed:
+            self._count = (self._count or 0) + 1
+        self._bytes += len(data)
+        self.stats.writes += 1
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.STORE_WRITES_TOTAL).inc()
+        if self._count is not None and self._count > self.max_entries:
+            self.gc()
+        self._set_bytes_gauge()
+        return True
+
+    # ---- garbage collection ------------------------------------------------
+
+    def gc(self) -> int:
+        """Evict least-recently-used entries down to ``max_entries``.
+
+        Returns the number of entries evicted. Safe under concurrent
+        writers: a file another process already removed is simply
+        skipped. The scan re-derives the authoritative entry count, so
+        drift from concurrent writers corrects itself here.
+        """
+        aged: list[tuple[float, int, Path]] = []
+        for path in self._entry_paths():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            aged.append((st.st_mtime, st.st_size, path))
+        self._count = len(aged)
+        self._bytes = sum(size for _, size, _ in aged)
+        excess = len(aged) - self.max_entries
+        if excess <= 0:
+            return 0
+        aged.sort()  # oldest mtime first; path breaks ties stably
+        evicted = 0
+        for _, size, path in aged[:excess]:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            evicted += 1
+            self._count -= 1
+            self._bytes -= size
+        self.stats.evictions += evicted
+        tel = _tm.current()
+        if tel.enabled:
+            tel.metrics.counter(_tn.STORE_EVICTIONS_TOTAL).inc(evicted)
+        self._set_bytes_gauge()
+        return evicted
+
+
+#: Stores opened by path, one instance per resolved root.
+_STORES: dict[Path, ResultStore] = {}
+
+
+def get_store(root: str | os.PathLike | ResultStore) -> ResultStore:
+    """The store at ``root``, cached per resolved path.
+
+    Passing a :class:`ResultStore` returns it unchanged, so APIs can
+    accept "a store or a path" uniformly.
+    """
+    if isinstance(root, ResultStore):
+        return root
+    resolved = Path(root).resolve()
+    store = _STORES.get(resolved)
+    if store is None:
+        store = ResultStore(resolved)
+        _STORES[resolved] = store
+    return store
+
+
+def default_store() -> ResultStore | None:
+    """The process-default store from ``REPRO_STORE``, if set.
+
+    Returns ``None`` when the environment variable is absent or empty —
+    sweeps then run with the in-memory memo only.
+    """
+    root = os.environ.get("REPRO_STORE")
+    if not root:
+        return None
+    return get_store(root)
+
+
+def require_store(
+    root: str | os.PathLike | ResultStore | None,
+) -> ResultStore:
+    """Resolve ``root`` or the default store, or fail loudly.
+
+    Replay needs a store to replay *from*; this is the one place a
+    missing store is an error rather than "no second tier".
+    """
+    if root is not None:
+        return get_store(root)
+    store = default_store()
+    if store is None:
+        raise StoreError(
+            "no result store: pass --store DIR (or set REPRO_STORE) "
+            "pointing at a store warmed by a previous run"
+        )
+    return store

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.algorithms.costs import SortCostModel
 from repro.experiments.paperdata import TABLE1_SECONDS
 from repro.experiments.runner import (
     VARIANTS,
     ExperimentResult,
     sort_variant_seconds,
+    sweep_map,
 )
 
 
@@ -15,24 +18,33 @@ def run_table1(
     cost: SortCostModel | None = None,
     sizes: tuple[int, ...] = (2_000_000_000, 4_000_000_000, 6_000_000_000),
     orders: tuple[str, ...] = ("random", "reverse"),
+    jobs: int = 1,
+    pool: str | None = None,
+    store: Any | None = None,
 ) -> ExperimentResult:
     """Reproduce Table 1 on the simulated node."""
+    cells = [
+        (variant, n, order, cost)
+        for order in orders
+        for n in sizes
+        for variant in VARIANTS
+    ]
+    times = sweep_map(
+        sort_variant_seconds, cells, jobs=jobs, pool=pool, store=store
+    )
     rows = []
-    for order in orders:
-        for n in sizes:
-            for variant in VARIANTS:
-                sim = sort_variant_seconds(variant, n, order, cost)
-                paper = TABLE1_SECONDS.get((n, order, variant))
-                row = {
-                    "elements": n,
-                    "order": order,
-                    "algorithm": variant,
-                    "simulated_s": sim,
-                    "paper_s": paper,
-                }
-                if paper:
-                    row["deviation"] = (sim - paper) / paper
-                rows.append(row)
+    for (variant, n, order, _), sim in zip(cells, times):
+        paper = TABLE1_SECONDS.get((n, order, variant))
+        row = {
+            "elements": n,
+            "order": order,
+            "algorithm": variant,
+            "simulated_s": sim,
+            "paper_s": paper,
+        }
+        if paper:
+            row["deviation"] = (sim - paper) / paper
+        rows.append(row)
     return ExperimentResult(
         experiment="table1",
         title="Table 1: raw sorting performance (simulated KNL vs paper)",
@@ -52,3 +64,8 @@ def run_table1(
             "calibrated once against GNU-flat at 2B random",
         ],
     )
+
+
+run_table1.supports_jobs = True
+run_table1.supports_store = True
+run_table1.supports_replay = True

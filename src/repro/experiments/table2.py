@@ -2,28 +2,43 @@
 
 The paper obtained DDR/MCDRAM ceilings from STREAM and the per-thread
 rates from micro-measurements; we run the same procedure against the
-simulator and report both alongside the published values.
+simulator and report both alongside the published values. The
+measurement runs as a single :func:`~repro.experiments.runner.sweep_map`
+cell so its result lands in the config-hash memo and the on-disk
+result store like every other experiment cell — `repro-knl replay
+table2` re-renders the table with zero measurement runs.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.experiments.paperdata import TABLE2_PARAMS
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, sweep_map
 from repro.model.params import measure_params
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 
+#: Parameter order of the measurement cell's result tuple.
+_PARAM_KEYS = ("B_copy", "DDR_max", "MCDRAM_max", "S_copy", "S_comp")
 
-def run_table2() -> ExperimentResult:
-    """Measure B_copy/DDR_max/MCDRAM_max/S_copy/S_comp."""
+
+def _table2_cell() -> tuple[float, float, float, float, float]:
+    """Measure the five model parameters, in ``_PARAM_KEYS`` order."""
     node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
     p = measure_params(node)
-    measured = {
-        "B_copy": p.b_copy,
-        "DDR_max": p.ddr_max,
-        "MCDRAM_max": p.mcdram_max,
-        "S_copy": p.s_copy,
-        "S_comp": p.s_comp,
-    }
+    return (
+        float(p.b_copy),
+        float(p.ddr_max),
+        float(p.mcdram_max),
+        float(p.s_copy),
+        float(p.s_comp),
+    )
+
+
+def run_table2(store: Any | None = None) -> ExperimentResult:
+    """Measure B_copy/DDR_max/MCDRAM_max/S_copy/S_comp."""
+    (values,) = sweep_map(_table2_cell, [()], store=store)
+    measured = dict(zip(_PARAM_KEYS, values))
     descriptions = {
         "B_copy": "data size (GB)",
         "DDR_max": "max DDR bandwidth, STREAM (GB/s)",
@@ -52,3 +67,7 @@ def run_table2() -> ExperimentResult:
             "bounded by memory-level parallelism"
         ],
     )
+
+
+run_table2.supports_store = True
+run_table2.supports_replay = True

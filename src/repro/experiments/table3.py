@@ -2,27 +2,41 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.algorithms.merge_bench import empirical_optimal_copy_threads
 from repro.experiments.paperdata import TABLE3_OPTIMAL
-from repro.experiments.runner import ExperimentResult
+from repro.experiments.runner import ExperimentResult, sweep_map
 from repro.model.optimizer import optimal_copy_threads
 from repro.model.params import ModelParams
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 
 
+def _table3_cell(r: int, total_threads: int) -> tuple[int, int]:
+    """One repeats row: (model-optimal, empirical-optimal) copy threads."""
+    params = ModelParams()
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    model_p = optimal_copy_threads(params, total_threads, passes=r).p_in
+    emp_p = empirical_optimal_copy_threads(
+        node, r, total_threads=total_threads
+    )
+    return int(model_p), int(emp_p)
+
+
 def run_table3(
     repeats: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
     total_threads: int = 256,
+    jobs: int = 1,
+    pool: str | None = None,
+    store: Any | None = None,
 ) -> ExperimentResult:
     """Model-predicted and simulator-empirical optimal copy threads."""
-    params = ModelParams()
-    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    cells = [(r, total_threads) for r in repeats]
+    optima = sweep_map(
+        _table3_cell, cells, jobs=jobs, pool=pool, store=store
+    )
     rows = []
-    for r in repeats:
-        model_p = optimal_copy_threads(params, total_threads, passes=r).p_in
-        emp_p = empirical_optimal_copy_threads(
-            node, r, total_threads=total_threads
-        )
+    for r, (model_p, emp_p) in zip(repeats, optima):
         paper_model, paper_emp = TABLE3_OPTIMAL.get(r, (None, None))
         rows.append(
             {
@@ -50,3 +64,8 @@ def run_table3(
             "our model matches its model column at 5 of 7 rows",
         ],
     )
+
+
+run_table3.supports_jobs = True
+run_table3.supports_store = True
+run_table3.supports_replay = True

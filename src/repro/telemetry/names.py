@@ -108,6 +108,16 @@ SWEEP_SPECULATIVE_TOTAL = "sweep.speculative_total"
 SWEEP_RING_CORRUPT_TOTAL = "sweep.ring_corrupt_total"
 SWEEP_BACKOFF_SECONDS_TOTAL = "sweep.backoff_seconds_total"
 SWEEP_DEGRADED = "sweep.degraded"
+SWEEP_MEMO_EVICTED_TOTAL = "sweep.memo_evicted_total"
+
+# --- experiment result store (experiments.store) ---------------------------
+
+STORE_HITS_TOTAL = "store.hits_total"
+STORE_MISSES_TOTAL = "store.misses_total"
+STORE_WRITES_TOTAL = "store.writes_total"
+STORE_EVICTIONS_TOTAL = "store.evictions_total"
+STORE_CORRUPT_TOTAL = "store.corrupt_total"
+STORE_BYTES = "store.bytes"
 
 # --- faults and resilience (repro.faults, core.resilient) ------------------
 
@@ -303,6 +313,40 @@ _METRIC_SPECS = [
         SWEEP_DEGRADED, "gauge", "calls",
         "Whether the most recent pool map call fell back to in-process "
         "serial execution after its circuit breaker opened (0/1).",
+    ),
+    MetricSpec(
+        SWEEP_MEMO_EVICTED_TOTAL, "counter", "entries",
+        "Sweep results dropped instead of cached because the in-memory "
+        "memo hit its capacity bound.",
+    ),
+    MetricSpec(
+        STORE_HITS_TOTAL, "counter", "lookups",
+        "Result-store lookups served from disk (the sweep memo's "
+        "second tier).",
+    ),
+    MetricSpec(
+        STORE_MISSES_TOTAL, "counter", "lookups",
+        "Result-store lookups that found no usable entry (absent or "
+        "corrupt).",
+    ),
+    MetricSpec(
+        STORE_WRITES_TOTAL, "counter", "entries",
+        "Result entries persisted to the on-disk store.",
+    ),
+    MetricSpec(
+        STORE_EVICTIONS_TOTAL, "counter", "entries",
+        "Entries evicted by the store's LRU garbage collector to "
+        "enforce its max_entries bound.",
+    ),
+    MetricSpec(
+        STORE_CORRUPT_TOTAL, "counter", "entries",
+        "Store entries skipped as corrupt (unparseable, wrong schema, "
+        "or key/function mismatch); each reads as a miss.",
+    ),
+    MetricSpec(
+        STORE_BYTES, "gauge", "bytes",
+        "Approximate total size of the result store's entries on "
+        "disk.",
     ),
     MetricSpec(
         FAULTS_INJECTED_TOTAL, "counter", "events",

@@ -23,6 +23,7 @@ SCRIPTS = [
     ("trace_pipeline.py", []),
     ("fault_injection.py", ["0.5"]),
     ("telemetry_tour.py", []),
+    ("store_replay.py", []),
 ]
 
 
