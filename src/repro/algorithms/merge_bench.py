@@ -78,12 +78,12 @@ class MergeBenchConfig:
         return self.total_threads
 
 
-def run_merge_bench(
+def build_merge_bench(
     node: KNLNode,
     config: MergeBenchConfig,
     params: ModelParams | None = None,
-) -> PipelineResult:
-    """Execute the benchmark on the simulated node."""
+) -> BufferedPipeline:
+    """Assemble the benchmark's pipeline without running it."""
     params = params or ModelParams()
     cfg = config
     chunker = Chunker(cfg.data_bytes, cfg.chunk_bytes)
@@ -93,7 +93,7 @@ def run_merge_bench(
         )
     else:
         pools = PoolSet.compute_only(node, threads=cfg.total_threads)
-    pipe = BufferedPipeline(
+    return BufferedPipeline(
         node,
         cfg.mode,
         pools,
@@ -101,7 +101,15 @@ def run_merge_bench(
         merge_bench_kernel(cfg.repeats),
         params,
     )
-    return pipe.run()
+
+
+def run_merge_bench(
+    node: KNLNode,
+    config: MergeBenchConfig,
+    params: ModelParams | None = None,
+) -> PipelineResult:
+    """Execute the benchmark on the simulated node."""
+    return build_merge_bench(node, config, params).run()
 
 
 def sweep_merge_bench(
@@ -140,5 +148,14 @@ def empirical_optimal_copy_threads(
     """
     candidates = copy_thread_values or [1, 2, 4, 8, 16, 32]
     times = sweep_merge_bench(node, repeats, candidates, params, total_threads)
+    return pick_optimal_copy_threads(times, tolerance)
+
+
+def pick_optimal_copy_threads(
+    times: dict[int, float], tolerance: float = 0.03
+) -> int:
+    """The smallest copy-thread count within ``tolerance`` of the best
+    time (the tie-break rationale is documented on
+    :func:`empirical_optimal_copy_threads`)."""
     t_min = min(times.values())
     return min(p for p, t in times.items() if t <= t_min * (1 + tolerance))

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.simknl.engine import Phase, Plan, run_flows
+from repro.simknl.engine import Phase, Plan
 from repro.simknl.flows import Flow
 from repro.simknl.node import KNLNode
 from repro.units import GB, GiB
@@ -55,23 +55,34 @@ def measure_bandwidth(
     return plan.total_bytes / result.elapsed
 
 
-def measure_per_thread_rates(node: KNLNode) -> tuple[float, float]:
-    """Single-thread (S_copy, S_comp) from latency-bound micro-runs.
+def micro_rate_plans(node: KNLNode) -> tuple[Plan, Plan, float]:
+    """The single-thread validation plans behind S_copy/S_comp.
 
     A copy thread's rate is bounded by the slower of the two devices
-    it touches; a compute thread streams MCDRAM only.
+    it touches; a compute thread streams MCDRAM only. Returns
+    ``(copy_plan, comp_plan, nbytes)`` so callers can run the two
+    micro-measurements themselves (the cross-cell sweep lowering
+    batches them alongside the STREAM plans).
     """
     s_copy = min(
         node.ddr.per_thread_rate_bound(MLP_COPY),
         node.mcdram.per_thread_rate_bound(MLP_COPY + 2),
     )
     s_comp = node.mcdram.per_thread_rate_bound(MLP_COMP)
-    # Validate by actually running one-thread flows.
-    nbytes = 1 * GB
+    nbytes = float(1 * GB)
     copy_flow = Flow("copy1", 1, s_copy, {"ddr": 1.0, "mcdram": 1.0}, nbytes)
     comp_flow = Flow("comp1", 1, s_comp, {"mcdram": 1.0}, nbytes)
-    r1 = run_flows([copy_flow], node.resources())
-    r2 = run_flows([comp_flow], node.resources())
+    copy_plan = Plan(name="phase", phases=[Phase("phase", [copy_flow])])
+    comp_plan = Plan(name="phase", phases=[Phase("phase", [comp_flow])])
+    return copy_plan, comp_plan, nbytes
+
+
+def measure_per_thread_rates(node: KNLNode) -> tuple[float, float]:
+    """Single-thread (S_copy, S_comp), validated by actually running
+    the one-thread flows of :func:`micro_rate_plans`."""
+    copy_plan, comp_plan, nbytes = micro_rate_plans(node)
+    r1 = node.run(copy_plan)
+    r2 = node.run(comp_plan)
     return nbytes / r1.elapsed, nbytes / r2.elapsed
 
 

@@ -244,6 +244,21 @@ class BufferedPipeline:
             )
         return plan
 
+    def prepare(self, heap: Heap | None = None) -> Plan:
+        """Build the plan without executing it, with :meth:`run`'s exact
+        buffer accounting: buffers are allocated — surfacing the same
+        :class:`~repro.errors.CapacityError` an over-committed
+        configuration raises — and released again. The cross-cell sweep
+        lowering (:mod:`repro.simknl.batch`) uses this to collect many
+        cells' plans before one tensor evaluation.
+        """
+        own_heap = heap or Heap(self.node)
+        self.allocate_buffers(own_heap)
+        try:
+            return self.build_plan()
+        finally:
+            self.release_buffers(own_heap)
+
     def run(self, heap: Heap | None = None) -> PipelineResult:
         """Allocate buffers, execute the plan, release buffers."""
         own_heap = heap or Heap(self.node)

@@ -31,6 +31,7 @@ from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.bender import run_bender
+from repro.experiments.pareto import run_pareto
 from repro.experiments.extensions import (
     run_ablation,
     run_adaptive,
@@ -68,6 +69,7 @@ EXTENSION_EXPERIMENTS = {
     "adaptive": run_adaptive,
     "faults": run_faults,
     "chaos": run_chaos,
+    "pareto": run_pareto,
 }
 
 ALL_EXPERIMENTS = {**PAPER_EXPERIMENTS, **EXTENSION_EXPERIMENTS}
@@ -96,6 +98,7 @@ __all__ = [
     "run_pollution",
     "run_adaptive",
     "run_chaos",
+    "run_pareto",
     "PAPER_EXPERIMENTS",
     "EXTENSION_EXPERIMENTS",
     "ALL_EXPERIMENTS",

@@ -15,6 +15,7 @@ from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
 from repro.core.modes import UsageMode
 from repro.experiments.runner import ExperimentResult, SeriesSpec, sweep_map
+from repro.simknl.batch import PlanBatch, PlanBatchSpec
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
 
 #: Default chunk sizes swept, in elements (0.125B .. 6B).
@@ -35,7 +36,8 @@ FLAT_CHUNK_LIMIT = 2_000_000_000
 HYBRID_CHUNK_LIMIT = 1_000_000_000
 
 
-def _variant_time(mode: UsageMode, n: int, mega: int, cost) -> float:
+def _variant_plan(mode: UsageMode, n: int, mega: int, cost):
+    """The ``(node, plan)`` pair behind one figure7 cell."""
     if mode is UsageMode.FLAT:
         node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
     elif mode is UsageMode.HYBRID:
@@ -45,7 +47,24 @@ def _variant_time(mode: UsageMode, n: int, mega: int, cost) -> float:
     else:
         node = KNLNode(KNLNodeConfig(mode=MemoryMode.CACHE))
     cfg = MLMSortConfig(n=n, megachunk_elements=mega, mode=mode)
-    return node.run(mlm_sort_plan(node, cfg, cost)).elapsed
+    return node, mlm_sort_plan(node, cfg, cost)
+
+
+def _variant_time(mode: UsageMode, n: int, mega: int, cost) -> float:
+    node, plan = _variant_plan(mode, n, mega, cost)
+    return node.run(plan).elapsed
+
+
+def _variant_time_batch(mode: UsageMode, n: int, mega: int, cost) -> PlanBatch:
+    node, plan = _variant_plan(mode, n, mega, cost)
+    return PlanBatch(
+        resources=tuple(node.resources()),
+        plans=(plan,),
+        finish=lambda runs: runs[0].elapsed,
+    )
+
+
+_variant_time.plan_batch = PlanBatchSpec(build=_variant_time_batch)
 
 
 def run_figure7(

@@ -16,7 +16,9 @@ from typing import Any
 from repro.experiments.paperdata import TABLE2_PARAMS
 from repro.experiments.runner import ExperimentResult, sweep_map
 from repro.model.params import measure_params
+from repro.simknl.batch import PlanBatch, PlanBatchSpec
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+from repro.units import GB
 
 #: Parameter order of the measurement cell's result tuple.
 _PARAM_KEYS = ("B_copy", "DDR_max", "MCDRAM_max", "S_copy", "S_comp")
@@ -33,6 +35,37 @@ def _table2_cell() -> tuple[float, float, float, float, float]:
         float(p.s_copy),
         float(p.s_comp),
     )
+
+
+def _table2_batch() -> PlanBatch:
+    """The measurement cell as four engine plans: two STREAM triads
+    (bandwidth ceilings) plus the two single-thread micro-runs
+    (per-thread rates), divided back into rates by ``finish``."""
+    from repro.algorithms.stream import micro_rate_plans, stream_triad_plan
+
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    ddr_plan = stream_triad_plan(node, device="ddr")
+    mc_plan = stream_triad_plan(node, device="mcdram")
+    copy_plan, comp_plan, nbytes = micro_rate_plans(node)
+
+    def finish(runs):
+        ddr_r, mc_r, copy_r, comp_r = runs
+        return (
+            float(14.9 * GB),
+            float(ddr_plan.total_bytes / ddr_r.elapsed),
+            float(mc_plan.total_bytes / mc_r.elapsed),
+            float(nbytes / copy_r.elapsed),
+            float(nbytes / comp_r.elapsed),
+        )
+
+    return PlanBatch(
+        resources=tuple(node.resources()),
+        plans=(ddr_plan, mc_plan, copy_plan, comp_plan),
+        finish=finish,
+    )
+
+
+_table2_cell.plan_batch = PlanBatchSpec(build=_table2_batch)
 
 
 def run_table2(store: Any | None = None) -> ExperimentResult:

@@ -4,12 +4,21 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.algorithms.merge_bench import empirical_optimal_copy_threads
+from repro.algorithms.merge_bench import (
+    MergeBenchConfig,
+    build_merge_bench,
+    empirical_optimal_copy_threads,
+    pick_optimal_copy_threads,
+)
 from repro.experiments.paperdata import TABLE3_OPTIMAL
 from repro.experiments.runner import ExperimentResult, sweep_map
 from repro.model.optimizer import optimal_copy_threads
 from repro.model.params import ModelParams
+from repro.simknl.batch import PlanBatch, PlanBatchSpec
 from repro.simknl.node import KNLNode, KNLNodeConfig, MemoryMode
+
+#: The paper's empirical candidates: powers of two, 1..32.
+_CANDIDATES = (1, 2, 4, 8, 16, 32)
 
 
 def _table3_cell(r: int, total_threads: int) -> tuple[int, int]:
@@ -18,9 +27,37 @@ def _table3_cell(r: int, total_threads: int) -> tuple[int, int]:
     node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
     model_p = optimal_copy_threads(params, total_threads, passes=r).p_in
     emp_p = empirical_optimal_copy_threads(
-        node, r, total_threads=total_threads
+        node, r, list(_CANDIDATES), total_threads=total_threads
     )
     return int(model_p), int(emp_p)
+
+
+def _table3_batch(r: int, total_threads: int) -> PlanBatch:
+    """Lower one row to its six candidate merge-bench plans; ``finish``
+    replays the empirical argmin over the batched times."""
+    params = ModelParams()
+    node = KNLNode(KNLNodeConfig(mode=MemoryMode.FLAT))
+    model_p = optimal_copy_threads(params, total_threads, passes=r).p_in
+    plans = [
+        build_merge_bench(
+            node,
+            MergeBenchConfig(
+                repeats=r, copy_in_threads=p, total_threads=total_threads
+            ),
+        ).prepare()
+        for p in _CANDIDATES
+    ]
+
+    def finish(runs):
+        times = {p: run.elapsed for p, run in zip(_CANDIDATES, runs)}
+        return int(model_p), int(pick_optimal_copy_threads(times))
+
+    return PlanBatch(
+        resources=tuple(node.resources()), plans=plans, finish=finish
+    )
+
+
+_table3_cell.plan_batch = PlanBatchSpec(build=_table3_batch)
 
 
 def run_table3(

@@ -13,9 +13,31 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import ConfigError
 from repro.model.optimizer import optimal_copy_threads
 from repro.model.params import ModelParams
+
+
+def pareto_front(points) -> np.ndarray:
+    """Boolean mask of the minimization Pareto front of ``points``.
+
+    ``points`` is an ``(n, k)`` array-like of objective vectors, every
+    objective minimized. A point is on the front when no other point is
+    at least as good in every objective and strictly better in one.
+    Duplicates of a front point are all kept (neither strictly
+    dominates the other). One vectorized ``(n, n, k)`` comparison —
+    fine for the few-hundred-point design sweeps this module runs.
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ConfigError("points must be a non-empty (n, k) array")
+    # dom[i, j]: point j dominates point i.
+    dom = (arr[None, :, :] <= arr[:, None, :]).all(axis=-1) & (
+        arr[None, :, :] < arr[:, None, :]
+    ).any(axis=-1)
+    return ~dom.any(axis=1)
 
 
 @dataclass(frozen=True)

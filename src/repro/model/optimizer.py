@@ -12,8 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigError
-from repro.model.analytic import ModelPrediction, predict
+from repro.model.analytic import ModelPrediction
 from repro.model.params import ModelParams
 
 
@@ -33,6 +35,69 @@ class OptimizerResult:
     def t_total(self) -> float:
         """Predicted execution time at the optimum."""
         return self.best.t_total
+
+
+def predict_sweep(
+    params: ModelParams,
+    p_comp,
+    p_in,
+    p_out=None,
+    passes: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Eqs. 1-5 over parallel arrays of thread splits, in one shot.
+
+    Bit-identical elementwise to :func:`repro.model.analytic.predict`:
+    every arithmetic step applies the same operation in the same order
+    to the same IEEE-754 operands, just across whole arrays at once.
+    Returns ``(c_copy, c_comp, t_copy, t_comp, t_total)`` arrays.
+    """
+    p_comp = np.asarray(p_comp, dtype=np.int64)
+    p_in = np.asarray(p_in, dtype=np.int64)
+    p_out = p_in if p_out is None else np.asarray(p_out, dtype=np.int64)
+    if (p_comp < 1).any():
+        raise ConfigError("compute thread counts must be >= 1")
+    if (p_in < 0).any() or (p_out < 0).any():
+        raise ConfigError("copy thread counts must be non-negative")
+    if passes < 0:
+        raise ConfigError("passes must be non-negative")
+    p = p_in + p_out
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # Eq. 3: saturated threads share DDR; p == 0 means no copying.
+        c_copy = np.where(
+            p == 0,
+            0.0,
+            np.where(
+                p * params.s_copy <= params.ddr_max,
+                params.s_copy,
+                params.ddr_max / p,
+            ),
+        )
+        # Eq. 2.
+        t_copy = np.where(p == 0, np.inf, 2.0 * params.b_copy / (p * c_copy))
+        # Eq. 5: copy pools take their share first, compute splits the rest.
+        demand = p_comp * params.s_comp + p * params.s_copy
+        leftover = params.mcdram_max - p * c_copy
+        c_comp = np.where(
+            demand <= params.mcdram_max,
+            params.s_comp,
+            np.where(
+                leftover <= 0,
+                0.0,
+                np.minimum(params.s_comp, leftover / p_comp),
+            ),
+        )
+        # Eq. 4.
+        if passes == 0:
+            t_comp = np.zeros_like(c_comp)
+        else:
+            t_comp = np.where(
+                c_comp <= 0,
+                np.inf,
+                2.0 * params.b_copy * passes / (p_comp * c_comp),
+            )
+    # Eq. 1.
+    t_total = np.maximum(t_copy, t_comp)
+    return c_copy, c_comp, t_copy, t_comp, t_total
 
 
 def sweep_copy_threads(
@@ -60,15 +125,32 @@ def sweep_copy_threads(
         raise ConfigError("need at least 3 threads (1 compute + 1 in + 1 out)")
     if p_in_values is None:
         p_in_values = list(range(1, (total_threads - 1) // 2 + 1))
-    out = []
-    for p_in in p_in_values:
-        p_comp = total_threads - 2 * p_in
-        if p_comp < 1:
-            continue
-        out.append(predict(params, p_comp, p_in, p_in, passes))
-    if not out:
+    feasible = [
+        (total_threads - 2 * p_in, p_in)
+        for p_in in p_in_values
+        if total_threads - 2 * p_in >= 1
+    ]
+    if not feasible:
         raise ConfigError("no feasible thread split")
-    return out
+    p_comp_arr = np.array([pc for pc, _ in feasible], dtype=np.int64)
+    p_in_arr = np.array([pi for _, pi in feasible], dtype=np.int64)
+    c_copy, c_comp, t_copy, t_comp, t_total = predict_sweep(
+        params, p_comp_arr, p_in_arr, passes=passes
+    )
+    return [
+        ModelPrediction(
+            p_comp=int(pc),
+            p_in=int(pi),
+            p_out=int(pi),
+            passes=passes,
+            c_copy=float(c_copy[i]),
+            c_comp=float(c_comp[i]),
+            t_copy=float(t_copy[i]),
+            t_comp=float(t_comp[i]),
+            t_total=float(t_total[i]),
+        )
+        for i, (pc, pi) in enumerate(feasible)
+    ]
 
 
 def optimal_copy_threads(

@@ -31,7 +31,7 @@ from repro.telemetry import runtime as _tm
 
 _EPS = 1e-12
 
-#: Minimum run of structurally identical static phases worth batching.
+#: Minimum run of structurally identical phases worth batching.
 #: Singletons stay on the reference path — the array setup would cost
 #: more than the loop it replaces.
 _MIN_GROUP = 2
@@ -141,6 +141,12 @@ class Plan:
     _compiled_key: tuple | None = field(
         default=None, init=False, repr=False, compare=False
     )
+    _structure: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _structure_key: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add(self, phase: Phase) -> "Plan":
         """Append a phase and return self (chainable)."""
@@ -161,12 +167,18 @@ class Plan:
     def compile(self, force: bool = False) -> list:
         """Segment the plan for batched evaluation; cached per phase list.
 
-        Returns a list of segments, each either ``("ref", lo, hi)`` — a
-        phase-index range for the per-phase reference loop — or
-        ``("group", _CompiledGroup)`` — a run of ``>= 2`` consecutive
-        ``static_rates`` phases with identical live-flow signatures
-        that :meth:`Engine.run` can evaluate with one allocation and
-        NumPy array ops.
+        Returns a list of segments, each one of
+
+        * ``("ref", lo, hi)`` — a phase-index range for the per-phase
+          reference loop;
+        * ``("group", _CompiledGroup)`` — a run of ``>= 2`` consecutive
+          ``static_rates`` phases with identical live-flow signatures
+          that :meth:`Engine.run` can evaluate with one allocation and
+          NumPy array ops;
+        * ``("dyn", _CompiledGroup)`` — the same, for dynamic
+          (``static_rates=False``) phases, evaluated with the segmented
+          event-driven batch in :mod:`repro.simknl.batch` (the
+          ``double`` strategy's inner steps form such runs).
 
         The compilation is cached and reused while the plan's phase
         list is unchanged (``add()`` invalidates it); byte demands are
@@ -194,7 +206,7 @@ class Plan:
                     ref_lo = None
                 segments.append(
                     (
-                        "group",
+                        "group" if run_key[0] else "dyn",
                         _compile_group(
                             run_start,
                             self.phases[
@@ -211,11 +223,12 @@ class Plan:
 
         for index, phase in enumerate(self.phases):
             phase_key: tuple | None = None
-            live: list[Flow] = []
-            if phase.static_rates:
-                live = [f for f in phase.flows if f.bytes_total > 0]
-                if live:
-                    phase_key = tuple(f.signature for f in live)
+            live = [f for f in phase.flows if f.bytes_total > 0]
+            if live:
+                phase_key = (
+                    phase.static_rates,
+                    tuple(f.signature for f in live),
+                )
             if phase_key is None:
                 flush_run()
                 if ref_lo is None:
@@ -233,6 +246,36 @@ class Plan:
         self._compiled = segments
         self._compiled_key = key
         return segments
+
+    def structure(self, force: bool = False) -> tuple:
+        """Per-phase ``(static_rates, live-flow signatures)`` tuple.
+
+        Two plans with equal structures differ only in byte demands
+        (``bytes_total`` per flow), which is exactly the precondition
+        for cross-cell lowering (:func:`repro.simknl.batch.run_batch`).
+        Cached alongside :meth:`compile`; liveness (``bytes_total > 0``)
+        is snapshotted at first call, so recompute with ``force=True``
+        after mutating flow byte demands in place.
+        """
+        key = tuple(map(id, self.phases))
+        if (
+            not force
+            and self._structure is not None
+            and self._structure_key == key
+        ):
+            return self._structure
+        structure = tuple(
+            (
+                phase.static_rates,
+                tuple(
+                    f.signature for f in phase.flows if f.bytes_total > 0
+                ),
+            )
+            for phase in self.phases
+        )
+        self._structure = structure
+        self._structure_key = key
+        return structure
 
 
 @dataclass
@@ -309,6 +352,10 @@ class Engine:
         #: Cumulative count of groups evaluated on the batched path
         #: (observability + the fallback tests).
         self.batched_groups = 0
+        #: Cumulative count of plans evaluated via the cross-cell
+        #: tensor path (:meth:`run_batch`); sequential fallbacks do
+        #: not count.
+        self.batched_plans = 0
         #: Water-filling solutions keyed by (resource, live-flow)
         #: signature. Sweeps re-run structurally identical phases
         #: thousands of times; the solve is skipped for every repeat.
@@ -472,16 +519,20 @@ class Engine:
             segments = [("ref", 0, len(plan.phases))]
 
         for segment in segments:
-            if segment[0] == "group":
+            if segment[0] in ("group", "dyn"):
                 group = segment[1]
-                batched = self._run_group(group, clock, traffic)
+                if segment[0] == "group":
+                    batched = self._run_group(group, clock, traffic)
+                else:
+                    batched = self._run_group_dynamic(group, clock, traffic)
                 if batched is not None:
                     times, clock = batched
                     phase_times.extend(times)
                     self.batched_groups += 1
                     continue
-                # Starved flow: re-run on the reference loop, which
-                # raises the exact per-phase SimulationError.
+                # Starved flow / no-completion round: re-run on the
+                # reference loop, which raises the exact per-phase
+                # SimulationError.
                 segment = ("ref", group.start, group.start + group.count)
             _, seg_lo, seg_hi = segment
             for index in range(seg_lo, seg_hi):
@@ -663,6 +714,52 @@ class Engine:
         ticks[0] = clock
         ticks[1:] = times
         return times.tolist(), float(np.cumsum(ticks)[-1])
+
+    def _run_group_dynamic(
+        self,
+        group: _CompiledGroup,
+        clock: float,
+        traffic: dict[str, float],
+    ) -> tuple[list[float], float] | None:
+        """Evaluate a compiled dynamic-phase group with the segmented
+        event-driven batch.
+
+        Each phase in the group is an independent event loop over the
+        same live-flow structure; :func:`repro.simknl.batch.batched_dynamic`
+        advances all of them in lock-step rounds, re-solving the
+        water-filling allocation once per distinct set of still-live
+        flows instead of once per phase per round. Returns ``None``
+        when any phase would starve or fail to complete a flow in a
+        round — the caller re-runs the segment on the reference loop so
+        the usual :class:`SimulationError` is raised.
+        """
+        from repro.simknl.batch import batched_dynamic
+
+        out = batched_dynamic(group.flows, group.bytes_matrix, self._allocate)
+        if out is None:
+            return None
+        times, chains = out
+        for name, chain in chains:
+            ordered = np.empty(chain.size + 1, dtype=np.float64)
+            ordered[0] = traffic[name]
+            ordered[1:] = chain.ravel()
+            traffic[name] = float(np.cumsum(ordered)[-1])
+        ticks = np.empty(times.size + 1, dtype=np.float64)
+        ticks[0] = clock
+        ticks[1:] = times
+        return times.tolist(), float(np.cumsum(ticks)[-1])
+
+    def run_batch(self, plans: list[Plan]) -> list[RunResult]:
+        """Run N structurally identical plans as one tensor evaluation.
+
+        Delegates to :func:`repro.simknl.batch.run_batch`; falls back to
+        sequential :meth:`run` calls when the engine or the plans are
+        ineligible (see that function's docs). Results are bit-identical
+        to ``[self.run(p) for p in plans]`` either way.
+        """
+        from repro.simknl.batch import run_batch
+
+        return run_batch(self, plans)
 
 
 def run_flows(

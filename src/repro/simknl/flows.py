@@ -37,6 +37,9 @@ from repro.errors import PlanError
 #: Relative tolerance used when comparing rates and capacities.
 _EPS = 1e-12
 
+#: Flow attributes whose mutation invalidates the cached signature.
+_SIGNATURE_FIELDS = frozenset({"threads", "per_thread_rate", "resources"})
+
 
 @dataclass(frozen=True)
 class Resource:
@@ -104,16 +107,34 @@ class Flow:
                 raise PlanError(
                     f"flow {self.name!r}: negative multiplier for {res!r}"
                 )
-        #: Structural signature: everything :func:`allocate_rates`
-        #: reads except identity and byte counters. Two flows with
-        #: equal signatures receive identical rates in identical
-        #: contexts, which is what lets the engine memoize the
-        #: water-filling solve across phases and runs.
-        self.signature: tuple = (
-            self.threads,
-            self.per_thread_rate,
-            tuple(sorted(self.resources.items())),
-        )
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in _SIGNATURE_FIELDS:
+            object.__setattr__(self, "_signature", None)
+        object.__setattr__(self, name, value)
+
+    @property
+    def signature(self) -> tuple:
+        """Structural signature: everything :func:`allocate_rates` reads
+        except identity and byte counters.
+
+        Two flows with equal signatures receive identical rates in
+        identical contexts, which is what lets the engine memoize the
+        water-filling solve across phases and runs, and what plan
+        compilation and cross-cell lowering use to detect structurally
+        identical phases. Computed lazily and cached on the instance;
+        assigning ``threads``, ``per_thread_rate``, or ``resources``
+        invalidates the cache.
+        """
+        sig = self._signature
+        if sig is None:
+            sig = (
+                self.threads,
+                self.per_thread_rate,
+                tuple(sorted(self.resources.items())),
+            )
+            object.__setattr__(self, "_signature", sig)
+        return sig
 
     @property
     def rate_cap(self) -> float:

@@ -262,3 +262,56 @@ def test_adding_threads_never_decreases_own_rate(t1, t2):
     r_lo = allocate_rates([f_lo], res)[id(f_lo)]
     r_hi = allocate_rates([f_hi], res)[id(f_hi)]
     assert r_hi >= r_lo * (1 - 1e-9)
+
+
+class TestSignatureCache:
+    """The structural signature is computed lazily, cached on the
+    instance, and invalidated when a signature field mutates."""
+
+    def _flow(self) -> Flow:
+        return Flow("f", 8, 4.8 * GB, {"ddr": 1.0, "mcdram": 0.5}, 1.0)
+
+    def test_cached_object_is_reused(self):
+        f = self._flow()
+        assert f.signature is f.signature
+
+    def test_value_matches_definition(self):
+        f = self._flow()
+        assert f.signature == (
+            8,
+            4.8 * GB,
+            (("ddr", 1.0), ("mcdram", 0.5)),
+        )
+
+    def test_mutating_signature_fields_invalidates(self):
+        f = self._flow()
+        before = f.signature
+        f.threads = 16
+        assert f.signature != before
+        assert f.signature[0] == 16
+        f.per_thread_rate = 1.0 * GB
+        assert f.signature[1] == 1.0 * GB
+        f.resources = {"ddr": 2.0}
+        assert f.signature[2] == (("ddr", 2.0),)
+
+    def test_bytes_total_mutation_keeps_signature(self):
+        f = self._flow()
+        sig = f.signature
+        f.bytes_total = 123.0
+        assert f.signature is sig  # bytes are not structural
+
+    def test_equal_structures_share_signature_value(self):
+        a = Flow("a", 8, 4.8 * GB, {"mcdram": 0.5, "ddr": 1.0}, 1.0)
+        b = Flow("b", 8, 4.8 * GB, {"ddr": 1.0, "mcdram": 0.5}, 99.0)
+        assert a.signature == b.signature  # name/bytes/dict-order free
+
+    def test_pickle_and_deepcopy_round_trip(self):
+        import copy
+        import pickle
+
+        f = self._flow()
+        _ = f.signature
+        for clone in (pickle.loads(pickle.dumps(f)), copy.deepcopy(f)):
+            assert clone.signature == f.signature
+            clone.threads = 99
+            assert clone.signature != f.signature
