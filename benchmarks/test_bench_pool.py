@@ -13,15 +13,41 @@ import time
 
 import pytest
 
-from repro.experiments.pool import get_pool, shutdown_pool
+from repro.experiments.pool import PersistentPool, get_pool, shutdown_pool
 from repro.experiments.runner import sweep_map
 
 JOBS = 8
 CELLS = [(i, 1.0) for i in range(64)]
 
+# Skewed sweep: one pathological tail cell costs 50x the others, the
+# classic shape the blind halving taper loses to (the heavy cell lands
+# in the first, widest chunk and serialises half the sweep behind it).
+SKEW_JOBS = 4
+SKEW_BASE_S = 0.008
+SKEW_HEAVY = 24
+SKEW_FACTOR = 50
+SKEW_CELLS = [(i,) for i in range(96)]
+
 
 def _tiny(i: int, x: float) -> float:
     return i * x
+
+
+def _skew_cell(i: int) -> float:
+    time.sleep(SKEW_BASE_S * (SKEW_FACTOR if i == SKEW_HEAVY else 1))
+    return float(i)
+
+
+def _skew_pool(adaptive: bool) -> PersistentPool:
+    # Huge deadlines keep speculation out of the timings: the contrast
+    # under test is purely chunk shape + stealing, not recovery.
+    return PersistentPool(
+        SKEW_JOBS,
+        adaptive=adaptive,
+        min_workers=SKEW_JOBS,
+        deadline_factor=1000.0,
+        cold_deadline_s=60.0,
+    )
 
 
 @pytest.fixture(autouse=True, scope="module")
@@ -70,6 +96,71 @@ def test_bench_pool_fork_dispatch(benchmark):
         iterations=1,
     )
     assert out == [_tiny(*c) for c in CELLS]
+
+
+def test_bench_pool_skew_adaptive(benchmark):
+    """Skewed sweep under the adaptive scheduler: the warm EWMA model
+    sees the 50x peak and shrinks chunks so the heavy cell stops
+    dragging neighbours, and stealing rebalances the remainder."""
+    pool = _skew_pool(adaptive=True)
+    try:
+        pool.map(_skew_cell, SKEW_CELLS, chunk_cells=48)  # train EWMA
+        out = benchmark.pedantic(
+            lambda: pool.map(_skew_cell, SKEW_CELLS, chunk_cells=48),
+            rounds=2,
+            iterations=1,
+        )
+    finally:
+        pool.shutdown()
+    assert out == [float(i) for (i,) in SKEW_CELLS]
+
+
+def test_bench_pool_skew_static_taper(benchmark):
+    """The same skewed sweep with adaptive sizing and stealing off:
+    the pre-fix halving taper, kept as the regression contrast."""
+    pool = _skew_pool(adaptive=False)
+    try:
+        pool.map(_skew_cell, SKEW_CELLS, chunk_cells=48)  # warm
+        out = benchmark.pedantic(
+            lambda: pool.map(_skew_cell, SKEW_CELLS, chunk_cells=48),
+            rounds=2,
+            iterations=1,
+        )
+    finally:
+        pool.shutdown()
+    assert out == [float(i) for (i,) in SKEW_CELLS]
+
+
+def test_adaptive_at_least_1_5x_faster_on_skewed_sweep():
+    """The acceptance bar for the scheduler rework: on the skewed
+    sweep the warm adaptive pool beats the blind halving taper by at
+    least 1.5x wall-clock."""
+
+    def best_of(pool, rounds=2):
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            out = pool.map(_skew_cell, SKEW_CELLS, chunk_cells=48)
+            times.append(time.perf_counter() - t0)
+            assert out == [float(i) for (i,) in SKEW_CELLS]
+        return min(times)
+
+    adaptive_pool = _skew_pool(adaptive=True)
+    try:
+        adaptive_pool.map(_skew_cell, SKEW_CELLS, chunk_cells=48)
+        adaptive = best_of(adaptive_pool)
+    finally:
+        adaptive_pool.shutdown()
+    taper_pool = _skew_pool(adaptive=False)
+    try:
+        taper_pool.map(_skew_cell, SKEW_CELLS, chunk_cells=48)
+        taper = best_of(taper_pool)
+    finally:
+        taper_pool.shutdown()
+    assert taper >= 1.5 * adaptive, (
+        f"taper {taper * 1e3:.0f}ms vs adaptive {adaptive * 1e3:.0f}ms "
+        f"({taper / adaptive:.2f}x)"
+    )
 
 
 def test_persistent_at_least_2x_lower_overhead():

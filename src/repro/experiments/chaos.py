@@ -346,7 +346,11 @@ def _chaos_pool(jobs: int):
     """A dedicated hardened pool with chaos-friendly tight deadlines.
 
     The driver never uses the process-wide singleton: injected kills
-    and hangs must not perturb pools other drivers are sharing.
+    and hangs must not perturb pools other drivers are sharing. The
+    adaptive scheduler is explicitly on — skew-aware chunk sizing,
+    work stealing, and worker autoscaling must all hold the
+    bit-identity contract *under* fault injection, so the chaos sweep
+    runs with every scheduling feature enabled.
     """
     from repro.experiments.pool import PersistentPool
 
@@ -357,6 +361,9 @@ def _chaos_pool(jobs: int):
         hang_kill_factor=2.0,
         backoff_base_s=0.02,
         backoff_max_s=0.25,
+        adaptive=True,
+        autoscale=True,
+        steal_min_s=0.05,
     )
 
 
@@ -413,6 +420,8 @@ def run_chaos(
                 "speculative": stats.speculative,
                 "ring_corrupt": stats.ring_corrupt,
                 "respawns": stats.respawns,
+                "steals": stats.steals,
+                "workers_scaled": stats.scaled_up + stats.scaled_down,
                 "degraded": stats.degraded_calls > 0,
             }
         )
@@ -435,6 +444,8 @@ def run_chaos(
             "speculative",
             "ring_corrupt",
             "respawns",
+            "steals",
+            "workers_scaled",
             "degraded",
         ],
         rows=rows,
@@ -449,6 +460,10 @@ def run_chaos(
             "deadlines + speculation, corrupt ring payloads are "
             "refetched over pickle, and a breaker-opened pool degrades "
             "to in-process serial execution rather than failing",
+            "the adaptive scheduler runs fully enabled: skew-aware "
+            "chunk sizing, idle-worker stealing (steals column), and "
+            "worker autoscaling (workers_scaled column) must all "
+            "preserve bit-identity under injected faults",
             "wall_s/slowdown are wall-clock (harness) times, not "
             "simulated seconds; they vary with machine load",
         ],

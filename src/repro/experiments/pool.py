@@ -10,9 +10,26 @@ module amortizes it the way the paper amortizes copies:
 * **Workers are spawned once per process lifetime** (lazily, sized by
   ``jobs``) and survive across :func:`sweep_map` calls and drivers.
 * **Cells are dispatched in chunks**, so the per-message IPC cost is
-  paid per chunk, not per cell. Trailing chunk sizes taper (halving
-  toward the end of the sweep, floor 1) so one expensive tail cell
-  cannot serialize a full-size final chunk.
+  paid per chunk, not per cell. Chunk sizes are *skew-aware*: the pool
+  keeps a per-cell-function cost model (EWMA mean plus a decaying
+  per-cell peak, fed by worker-reported compute time) and shrinks
+  chunks in proportion to the observed max/mean skew, so one
+  expensive cell cannot serialize a full-size chunk behind it. A
+  function the model has not seen yet falls back to the static
+  halving taper of :meth:`PersistentPool.chunk_spans`.
+* **Idle workers steal**: once the dispatch queue is empty, an idle
+  worker takes the unstarted half of the most-loaded worker's
+  prefetched backlog (a parent-mediated reassignment: the victim gets
+  a ``cancel`` message, the thief a fresh dispatch), so a straggler
+  cell no longer holds its queued neighbours hostage until a deadline
+  blows.
+* **The worker count autoscales** between a floor and ``size``
+  against the cost model's projected sweep time — a sweep of cheap
+  memo-style cells runs on a couple of workers instead of paying
+  ``jobs`` pipes' worth of dispatch, and a sweep that turns out
+  heavier than projected grows back mid-call against the observed
+  queue depth. Scale-down only retires workers with nothing in
+  flight.
 * **Numeric results return through a shared-memory ring buffer** — one
   :class:`multiprocessing.shared_memory.SharedMemory` segment per
   worker, written as a single-producer/single-consumer ring of float64
@@ -34,8 +51,10 @@ them at fixed seeds):
   count, the :mod:`repro.faults` retry-accounting convention) when a
   chunk keeps killing its workers.
 * **Hung and slow workers are survived**: every dispatched chunk
-  carries a deadline derived from an online EWMA of observed per-cell
-  time. A chunk whose every outstanding assignment has blown its
+  carries a deadline derived from the per-function cost model —
+  worker-reported *compute* time only, so prefetch queue wait never
+  inflates the estimate, and one function's timings never contaminate
+  another's deadlines. A chunk whose every outstanding assignment has blown its
   deadline is speculatively resubmitted to another worker;
   first-result-wins dedup through the ``completed`` set keeps the
   sweep bit-identical. A worker that delivers nothing long after its
@@ -102,6 +121,39 @@ _MAX_WORKERS = 64
 _MAX_CHUNK_ATTEMPTS = 3
 #: EWMA smoothing for the online per-cell time estimate.
 _EWMA_ALPHA = 0.2
+#: Per-observation decay of the tracked per-cell peak time, so a
+#: one-off spike stops shrinking chunks after enough calm chunks.
+_PEAK_DECAY = 0.05
+#: Ceiling on chunks per call from skew-aware sizing (bounds the IPC
+#: message count no matter how extreme the measured skew is).
+_MAX_ADAPTIVE_CHUNKS = 1024
+
+
+def cost_key(fn: Callable[..., Any]) -> str:
+    """Stable per-cell-function identity for cost and memo bookkeeping.
+
+    The pool's cost model and :func:`repro.experiments.runner.sweep_map`'s
+    ``config_hash`` memo key functions the same way, so a function's
+    observed timings and its cached results always agree on what "the
+    same function" means.
+    """
+    return getattr(fn, "__qualname__", None) or repr(fn)
+
+
+@dataclass
+class _CellCost:
+    """Online cost estimate for one cell function (compute seconds).
+
+    ``mean_s`` is an EWMA of per-cell compute time; ``max_s`` tracks
+    the slowest single cell seen, decaying mildly per observation so
+    the skew signal reflects the recent shape of the sweep, not one
+    ancient outlier. Both are fed exclusively from worker-reported
+    compute time, never parent-side round-trip time.
+    """
+
+    mean_s: float
+    max_s: float
+    chunks: int = 1
 
 _CTX = get_context(
     "fork" if "fork" in get_all_start_methods() else "spawn"
@@ -157,7 +209,11 @@ class PoolStats:
     recovered them, ``ring_corrupt`` shm payloads that failed framing
     validation, ``backoff_seconds`` the total respawn backoff
     scheduled, and ``degraded_calls`` the :meth:`PersistentPool.map`
-    calls that fell back to in-process serial execution.
+    calls that fell back to in-process serial execution. The
+    scheduling counters track the adaptive dispatcher: ``steals``
+    counts prefetched chunks reassigned from a busy worker to an idle
+    one, ``scaled_up`` / ``scaled_down`` the worker-count autoscaling
+    decisions taken (mid-call growth and idle retirement).
     """
 
     workers_spawned: int = 0
@@ -173,6 +229,9 @@ class PoolStats:
     ring_corrupt: int = 0
     backoff_seconds: float = 0.0
     degraded_calls: int = 0
+    steals: int = 0
+    scaled_up: int = 0
+    scaled_down: int = 0
     chunk_cells: ChunkCellsSummary = field(default_factory=ChunkCellsSummary)
 
 
@@ -249,6 +308,20 @@ def _payload_crc(values: np.ndarray) -> int:
 def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
     """Worker loop: pull chunk messages, push results until ``stop``.
 
+    The worker keeps a local backlog: it blocks for one message when
+    idle, then drains whatever else has already arrived. That lets a
+    parent-mediated ``("cancel", chunk_id)`` overtake a prefetched-
+    but-unstarted ``run`` (the pipe is FIFO, so a cancel always
+    arrives after the run it voids) — the mechanism behind work
+    stealing. A cancel for a chunk already executed is dropped
+    harmlessly; the parent's first-result-wins dedup resolves the
+    race where both the victim and the thief return the chunk.
+
+    Each result message carries the chunk's summed per-cell *compute*
+    time and the slowest single cell, measured around the ``fn`` calls
+    themselves, so the parent's cost model never absorbs the time a
+    chunk spent queued behind the worker's previous chunk.
+
     Chunk messages optionally carry a chaos directive (see
     :mod:`repro.experiments.chaos`) which the worker enacts on itself:
     ``("kill",)`` exits hard, ``("hang",)`` stops consuming messages
@@ -261,16 +334,30 @@ def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
     read_cursor, ring = _ring_views(shm)
     write_idx = 0
     seq = 0
+    pending: list = []
     try:
         while True:
             try:
-                msg = conn.recv()
+                if not pending:
+                    # Idle: block for work (EOF/undecodable message —
+                    # e.g. fn not importable in this fork — dies
+                    # quietly; the pool respawns and resubmits).
+                    pending.append(conn.recv())
+                while conn.poll(0):
+                    pending.append(conn.recv())
             except Exception:
-                # EOF (parent gone) or an undecodable task message
-                # (e.g. fn not importable in this fork) — die quietly;
-                # the pool respawns from current parent state and
-                # resubmits.
                 break
+            cancelled = {m[1] for m in pending if m[0] == "cancel"}
+            if cancelled:
+                pending = [
+                    m
+                    for m in pending
+                    if m[0] != "cancel"
+                    and not (m[0] == "run" and m[1] in cancelled)
+                ]
+                if not pending:
+                    continue
+            msg = pending.pop(0)
             if msg[0] == "stop":
                 break
             _, chunk_id, fn, cells, directive, force_pickle = msg
@@ -281,15 +368,20 @@ def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
                 # Livelocked, not dead: stay alive but stop consuming.
                 while True:
                     time.sleep(0.05)
+            delay = directive[1] if fault == "slow" else 0.0
+            compute_s = 0.0
+            cell_max_s = 0.0
+            results = []
             try:
-                if fault == "slow":
-                    delay = directive[1]
-                    results = []
-                    for cell in cells:
+                for cell in cells:
+                    t_cell = time.perf_counter()
+                    if delay:
                         time.sleep(delay)
-                        results.append(fn(*cell))
-                else:
-                    results = [fn(*cell) for cell in cells]
+                    results.append(fn(*cell))
+                    dt = time.perf_counter() - t_cell
+                    compute_s += dt
+                    if dt > cell_max_s:
+                        cell_max_s = dt
             except BaseException as exc:
                 try:
                     conn.send(("error", slot, chunk_id, exc))
@@ -323,13 +415,19 @@ def _worker_main(slot: int, conn: Connection, shm_name: str) -> None:
                     # the checksum: a guaranteed byte-level mismatch.
                     ring[pos:pos + 1].view(np.int64)[0] ^= 0x1
                 conn.send(
-                    ("shm", slot, chunk_id, write_idx, count, cols, seq, crc)
+                    (
+                        "shm", slot, chunk_id, write_idx, count, cols,
+                        seq, crc, compute_s, cell_max_s,
+                    )
                 )
                 seq += 1
                 write_idx += count
             else:
                 try:
-                    conn.send(("pickle", slot, chunk_id, results))
+                    conn.send(
+                        ("pickle", slot, chunk_id, results,
+                         compute_s, cell_max_s)
+                    )
                 except Exception as exc:
                     conn.send(
                         (
@@ -405,16 +503,20 @@ class PersistentPool:
     Parameters
     ----------
     size:
-        Worker count (capped at ``_MAX_WORKERS``).
+        Worker count ceiling (capped at ``_MAX_WORKERS``); with
+        ``autoscale`` the live count floats between ``min_workers``
+        and this.
     deadline_factor:
         A dispatched chunk's deadline is ``deadline_factor`` times the
-        EWMA-predicted chunk time; generous by default so legitimately
-        heavy cells speculate rarely.
+        cost-model-predicted chunk time; generous by default so
+        legitimately heavy cells speculate rarely.
     min_deadline_s:
         Deadline floor, so microsecond cells do not produce
         millisecond deadlines that expire on scheduler jitter.
     cold_deadline_s:
-        Deadline used before the first completed chunk seeds the EWMA.
+        Deadline used for a cell function the cost model has not seen
+        yet (estimates are per-function, so a new function always
+        starts cold no matter what earlier sweeps trained).
     hang_kill_factor:
         A live worker is declared hung and killed once an assignment
         is overdue by this multiple of its deadline *and* the chunk
@@ -428,6 +530,33 @@ class PersistentPool:
     stall_escape_s:
         Hard ceiling on time with no progress at all before degrading;
         defaults to ``max(4 * cold_deadline_s, 5.0)``.
+    adaptive:
+        Enables skew-aware chunk sizing and work stealing. ``False``
+        pins dispatch to the static halving taper with no stealing
+        (the pre-adaptive scheduler, kept as the benchmark baseline).
+    autoscale:
+        Enables worker-count autoscaling between ``min_workers`` and
+        ``size``. ``False`` always runs ``size`` workers.
+    min_workers:
+        Autoscaling floor (clamped to ``size``); defaults to 2 so a
+        straggling chunk always has a second worker to speculate or
+        steal onto, except in single-worker pools.
+    scale_quantum_s:
+        Projected sweep seconds worth one worker: the target count is
+        ``projected_sweep_s / scale_quantum_s``, clamped to the
+        floor/'``size``' band. Mid-call, a worker is added while the
+        remaining queue projects past this per live worker.
+    steal_min_s:
+        How long the oldest unexpired assignment of a victim worker
+        must have been outstanding before an idle worker may steal
+        its backlog — short sweeps finish without steal churn.
+    skew_ratio:
+        Minimum observed ``max_s / mean_s`` per-cell skew before
+        chunks shrink below the static size.
+    skew_cell_floor_s:
+        Minimum observed per-cell peak before skew sizing engages at
+        all; microsecond cells have noisy skew that is never worth
+        extra IPC messages.
     """
 
     def __init__(
@@ -442,6 +571,13 @@ class PersistentPool:
         backoff_max_s: float = 2.0,
         breaker_respawns: int = 3,
         stall_escape_s: float | None = None,
+        adaptive: bool = True,
+        autoscale: bool = True,
+        min_workers: int | None = None,
+        scale_quantum_s: float = 0.05,
+        steal_min_s: float = 0.05,
+        skew_ratio: float = 4.0,
+        skew_cell_floor_s: float = 0.02,
     ) -> None:
         if size < 1:
             raise ConfigError(f"pool size must be >= 1, got {size}")
@@ -452,12 +588,23 @@ class PersistentPool:
             ("hang_kill_factor", hang_kill_factor),
             ("backoff_base_s", backoff_base_s),
             ("backoff_max_s", backoff_max_s),
+            ("scale_quantum_s", scale_quantum_s),
+            ("steal_min_s", steal_min_s),
+            ("skew_cell_floor_s", skew_cell_floor_s),
         ):
             if value <= 0:
                 raise ConfigError(f"{name} must be positive, got {value}")
         if breaker_respawns < 1:
             raise ConfigError(
                 f"breaker_respawns must be >= 1, got {breaker_respawns}"
+            )
+        if skew_ratio <= 1.0:
+            raise ConfigError(
+                f"skew_ratio must be > 1, got {skew_ratio}"
+            )
+        if min_workers is not None and min_workers < 1:
+            raise ConfigError(
+                f"min_workers must be >= 1, got {min_workers}"
             )
         self.size = min(size, _MAX_WORKERS)
         self.deadline_factor = deadline_factor
@@ -472,11 +619,22 @@ class PersistentPool:
             if stall_escape_s is not None
             else max(4.0 * cold_deadline_s, 5.0)
         )
+        self.adaptive = adaptive
+        self.autoscale = autoscale
+        self.min_workers = (
+            min(min_workers, self.size)
+            if min_workers is not None
+            else min(2, self.size)
+        )
+        self.scale_quantum_s = scale_quantum_s
+        self.steal_min_s = steal_min_s
+        self.skew_ratio = skew_ratio
+        self.skew_cell_floor_s = skew_cell_floor_s
         self.stats = PoolStats()
         self._workers: list[_Worker] = []
         self._next_chunk_id = 0
         self._closed = False
-        self._ewma_cell_s: float | None = None
+        self._cell_cost: dict[str, _CellCost] = {}
         self._slot_consecutive: dict[int, int] = {}
         self._respawn_not_before: dict[int, float] = {}
         self._last_chunks: list[_Chunk] = []
@@ -531,14 +689,47 @@ class PersistentPool:
         self._slot_consecutive = {}
         self._respawn_not_before = {}
 
-    def _ensure_workers(self) -> None:
+    def _ensure_workers(self, target: int | None = None) -> int:
+        """Bring the live worker count to ``target`` (default ``size``).
+
+        Growth spawns at the end of the slot list; shrinkage (only
+        with ``autoscale``, and only between calls, when nothing is in
+        flight) retires trailing workers, so slot numbers always equal
+        list indices. Returns how many workers were retired, so the
+        caller can account the scale-down.
+        """
         if self._closed:
             raise ConfigError("pool has been shut down")
-        while len(self._workers) < self.size:
+        if target is None:
+            target = self.size
+        target = max(1, min(target, self.size))
+        while len(self._workers) < target:
             self._workers.append(self._spawn(len(self._workers)))
+        retired = 0
+        while self.autoscale and len(self._workers) > target:
+            self._retire(self._workers.pop())
+            retired += 1
+        return retired
+
+    def _target_workers(self, fn_key: str, ncells: int) -> int:
+        """Autoscaling target for a sweep of ``ncells`` of ``fn_key``.
+
+        A function the cost model has not seen runs at full ``size``
+        (the pre-autoscale behavior — no projection, no risk); a known
+        function gets one worker per ``scale_quantum_s`` of projected
+        sweep time, clamped to the ``min_workers``..``size`` band.
+        """
+        if not self.autoscale:
+            return self.size
+        cost = self._cell_cost.get(fn_key)
+        if cost is None:
+            return self.size
+        floor = max(1, min(self.min_workers, self.size))
+        want = int(cost.mean_s * ncells / self.scale_quantum_s) + 1
+        return max(floor, min(self.size, want))
 
     def grow(self, size: int) -> None:
-        """Raise the worker count (never shrinks a live pool)."""
+        """Raise the worker-count ceiling (never lowers it)."""
         if size > self.size:
             self.size = min(size, _MAX_WORKERS)
 
@@ -562,27 +753,43 @@ class PersistentPool:
             self._retire(worker)
         self._workers = []
 
-    # ---- adaptive deadlines ------------------------------------------------
+    # ---- per-function cost model -------------------------------------------
 
-    def _deadline_s(self, ncells: int) -> float:
-        """Deadline for a fresh assignment of an ``ncells``-cell chunk."""
-        if self._ewma_cell_s is None:
+    def _deadline_s(self, fn_key: str, ncells: int) -> float:
+        """Deadline for a fresh ``ncells``-cell chunk of ``fn_key``.
+
+        A function without observations gets ``cold_deadline_s``; a
+        known one gets ``deadline_factor`` times the larger of the
+        projected chunk time and the slowest single cell seen, so a
+        chunk that happens to contain the sweep's one heavy cell does
+        not expire spuriously.
+        """
+        cost = self._cell_cost.get(fn_key)
+        if cost is None:
             return self.cold_deadline_s
         return max(
             self.min_deadline_s,
-            self.deadline_factor * self._ewma_cell_s * ncells,
+            self.deadline_factor * max(cost.mean_s * ncells, cost.max_s),
         )
 
-    def _observe_chunk(self, elapsed_s: float, ncells: int) -> None:
-        """Fold one completed chunk's timing into the EWMA estimate."""
-        per_cell = elapsed_s / max(1, ncells)
-        if self._ewma_cell_s is None:
-            self._ewma_cell_s = per_cell
-        else:
-            self._ewma_cell_s = (
-                _EWMA_ALPHA * per_cell
-                + (1.0 - _EWMA_ALPHA) * self._ewma_cell_s
-            )
+    def _observe_chunk(
+        self,
+        fn_key: str,
+        compute_s: float,
+        cell_max_s: float,
+        ncells: int,
+    ) -> None:
+        """Fold one chunk's worker-reported compute timing into the model."""
+        per_cell = compute_s / max(1, ncells)
+        cost = self._cell_cost.get(fn_key)
+        if cost is None:
+            self._cell_cost[fn_key] = _CellCost(per_cell, cell_max_s)
+            return
+        cost.mean_s = (
+            _EWMA_ALPHA * per_cell + (1.0 - _EWMA_ALPHA) * cost.mean_s
+        )
+        cost.max_s = max(cell_max_s, (1.0 - _PEAK_DECAY) * cost.max_s)
+        cost.chunks += 1
 
     # ---- dispatch ----------------------------------------------------------
 
@@ -615,6 +822,43 @@ class PersistentPool:
             lo += size
         return spans
 
+    def plan_spans(
+        self, ncells: int, step: int, fn_key: str
+    ) -> list[tuple[int, int]]:
+        """Chunk boundaries for one call, sized by measured skew.
+
+        When the cost model knows ``fn_key`` and its per-cell skew
+        (``max_s / mean_s``) clears ``skew_ratio`` — with the peak
+        above ``skew_cell_floor_s``, so microsecond noise never
+        engages — chunks shrink uniformly to ``step / skew`` cells
+        (floor 1, chunk count capped): the slowest cell observed then
+        costs about one chunk, not a ``step``-cell convoy behind it.
+        Otherwise (cold model, calm sweep, or ``adaptive=False``) the
+        static halving taper applies. Spans depend only on model state
+        at call entry, never on completion order, so reassembly stays
+        deterministic within the call.
+        """
+        if self.adaptive:
+            cost = self._cell_cost.get(fn_key)
+            if (
+                cost is not None
+                and cost.mean_s > 0.0
+                and cost.max_s >= self.skew_cell_floor_s
+                and cost.max_s / cost.mean_s >= self.skew_ratio
+            ):
+                skew = cost.max_s / cost.mean_s
+                size = max(
+                    1,
+                    int(step / skew),
+                    -(-ncells // _MAX_ADAPTIVE_CHUNKS),
+                )
+                size = min(size, step)
+                return [
+                    (lo, min(lo + size, ncells))
+                    for lo in range(0, ncells, size)
+                ]
+        return self.chunk_spans(ncells, step)
+
     def map(
         self,
         fn: Callable[..., Any],
@@ -640,7 +884,10 @@ class PersistentPool:
         if not cells:
             return []
         t_start = time.perf_counter()
-        self._ensure_workers()
+        fn_key = cost_key(fn)
+        retired = self._ensure_workers(
+            self._target_workers(fn_key, len(cells))
+        )
         for slot, worker in enumerate(self._workers):
             # Revive slots that died (or were hung-killed) between
             # calls, so every sweep starts with a full complement.
@@ -648,7 +895,7 @@ class PersistentPool:
                 self._replace_worker(slot)
         step = chunk_cells or self.chunk_size(len(cells))
         chunks: list[_Chunk] = []
-        for lo, hi in self.chunk_spans(len(cells), step):
+        for lo, hi in self.plan_spans(len(cells), step, fn_key):
             indices = list(range(lo, hi))
             chunks.append(
                 _Chunk(
@@ -660,7 +907,8 @@ class PersistentPool:
             self._next_chunk_id += 1
         self._last_chunks = chunks
         results: list[Any] = [None] * len(cells)
-        call = self._run_chunks(fn, chunks, results, chaos=chaos)
+        call = self._run_chunks(fn, fn_key, chunks, results, chaos=chaos)
+        call["scaled_down"] += retired
         call["dispatch_seconds"] = time.perf_counter() - t_start
         self.stats.cells += len(cells)
         self.stats.chunks += len(chunks)
@@ -676,12 +924,16 @@ class PersistentPool:
         self.stats.ring_corrupt += call["ring_corrupt"]
         self.stats.backoff_seconds += call["backoff_seconds"]
         self.stats.degraded_calls += call["degraded"]
-        self._emit_telemetry(chunks, call)
+        self.stats.steals += call["steals"]
+        self.stats.scaled_up += call["scaled_up"]
+        self.stats.scaled_down += call["scaled_down"]
+        self._emit_telemetry(fn_key, chunks, call)
         return results
 
     def _run_chunks(
         self,
         fn: Callable[..., Any],
+        fn_key: str,
         chunks: list[_Chunk],
         results: list[Any],
         chaos: Any | None = None,
@@ -711,6 +963,9 @@ class PersistentPool:
             "ring_corrupt": 0,
             "backoff_seconds": 0.0,
             "degraded": 0,
+            "steals": 0,
+            "scaled_up": 0,
+            "scaled_down": 0,
         }
 
         def record_failure(exc: BaseException) -> None:
@@ -742,7 +997,8 @@ class PersistentPool:
                 # Deadlines double per prior assignment so a chunk
                 # that is legitimately heavy (not hung) stops
                 # re-speculating once its deadline catches up.
-                self._deadline_s(len(chunk.cells)) * (2 ** min(prior, 8)),
+                self._deadline_s(fn_key, len(chunk.cells))
+                * (2 ** min(prior, 8)),
             )
             assigned[slot][chunk.chunk_id] = assignment
             inflight.setdefault(chunk.chunk_id, []).append(assignment)
@@ -770,7 +1026,7 @@ class PersistentPool:
             while (
                 todo
                 and failure is None
-                and len(assigned[slot]) < _PREFETCH
+                and len(assigned.setdefault(slot, {})) < _PREFETCH
             ):
                 chunk = todo.pop()
                 if chunk.chunk_id in completed:
@@ -783,6 +1039,95 @@ class PersistentPool:
         def fill() -> None:
             for slot in range(len(self._workers)):
                 dispatch(slot)
+
+        def live_backlog(slot: int) -> list[_Assignment]:
+            return [
+                a
+                for a in assigned.get(slot, {}).values()
+                if not a.expired
+            ]
+
+        def try_steal(now: float) -> None:
+            # Work stealing: with the queue drained, an idle worker
+            # takes the newest (certainly unstarted — FIFO pipe, the
+            # older assignment is in front of it) prefetched chunk of
+            # the most-loaded worker. The victim gets a cancel so it
+            # skips the chunk if it has not started it; if the cancel
+            # loses the race, first-result-wins dedup keeps the sweep
+            # bit-identical. Only victims provably busy for at least
+            # steal_min_s are robbed, so short healthy sweeps finish
+            # without steal churn.
+            if not self.adaptive or todo or failure is not None:
+                return
+            for thief in self._workers:
+                if thief.dead or live_backlog(thief.slot):
+                    continue
+                victim_live: list[_Assignment] = []
+                for worker in self._workers:
+                    if worker.dead or worker.slot == thief.slot:
+                        continue
+                    backlog = live_backlog(worker.slot)
+                    if len(backlog) >= 2 and len(backlog) > len(
+                        victim_live
+                    ):
+                        victim_live = backlog
+                if not victim_live:
+                    return
+                victim_live.sort(key=lambda a: a.sent_at)
+                if now - victim_live[0].sent_at < self.steal_min_s:
+                    return
+                prey = victim_live[-1]
+                chunk = prey.chunk
+                if (
+                    chunk.chunk_id in completed
+                    or chunk.chunk_id in assigned.get(thief.slot, {})
+                ):
+                    continue
+                prey.expired = True
+                assigned.get(prey.slot, {}).pop(chunk.chunk_id, None)
+                try:
+                    self._workers[prey.slot].conn.send(
+                        ("cancel", chunk.chunk_id)
+                    )
+                except (OSError, ValueError):
+                    pass  # victim dying; harvest will also skip it
+                call["steals"] += 1
+                send_chunk(thief.slot, chunk)
+
+        def autoscale_tick() -> None:
+            # Mid-call worker-count correction, one step per loop
+            # iteration. Growth: the remaining queue projects past
+            # scale_quantum_s per live worker (or the model is cold),
+            # and the ceiling allows another worker. Shrink: queue
+            # empty, so trailing workers with nothing in flight retire
+            # down to the floor — the tail of a sweep does not hold
+            # `size` idle processes.
+            if not self.autoscale or failure is not None:
+                return
+            floor = max(1, min(self.min_workers, self.size))
+            if todo:
+                if len(self._workers) >= self.size:
+                    return
+                cost = self._cell_cost.get(fn_key)
+                todo_cells = sum(len(c.cells) for c in todo)
+                live = sum(1 for w in self._workers if not w.dead)
+                if cost is None or (
+                    cost.mean_s * todo_cells
+                    > self.scale_quantum_s * max(1, live)
+                ):
+                    slot = len(self._workers)
+                    self._workers.append(self._spawn(slot))
+                    assigned.setdefault(slot, {})
+                    call["scaled_up"] += 1
+                return
+            if len(self._workers) <= floor:
+                return
+            worker = self._workers[-1]
+            if not live_backlog(worker.slot):
+                self._workers.pop()
+                self._retire(worker)
+                assigned.pop(worker.slot, None)
+                call["scaled_down"] += 1
 
         def harvest(slot: int) -> None:
             # One-shot teardown of an unusable worker (dead process or
@@ -908,6 +1253,16 @@ class PersistentPool:
                     ):
                         assignment.expired = True
                         call["deadline_expiries"] += 1
+                        if not assignment.delivered:
+                            # The worker never saw this chunk (dropped
+                            # dispatch or failed send): no result can
+                            # ever arrive, so free the prefetch slot —
+                            # otherwise the stale entry starves the
+                            # worker's dispatch capacity for the rest
+                            # of the pool's life.
+                            assigned.get(assignment.slot, {}).pop(
+                                assignment.chunk.chunk_id, None
+                            )
                 if any(not a.expired for a in assignments):
                     continue
                 if failure is not None:
@@ -990,6 +1345,8 @@ class PersistentPool:
             if breaker_reason is not None:
                 break
             fill()
+            try_steal(time.monotonic())
+            autoscale_tick()
             if done >= len(chunks):
                 break
             conns = [w.conn for w in self._workers if not w.dead]
@@ -1031,7 +1388,8 @@ class PersistentPool:
                     last_progress = now
                     continue
                 if msg[0] == "shm":
-                    _, _, _, start, count, cols, seq, crc = msg
+                    _, _, _, start, count, cols, seq, crc = msg[:8]
+                    compute_s, cell_max_s = msg[8], msg[9]
                     pos = start % RING_SLOTS
                     head = min(count, RING_SLOTS - pos)
                     values = np.empty(count, dtype=np.float64)
@@ -1066,11 +1424,23 @@ class PersistentPool:
                     call["shm_results"] += 1
                 else:
                     payload = msg[3]
+                    compute_s, cell_max_s = msg[4], msg[5]
                     call["pickle_results"] += 1
                     assignment = assigned[worker.slot].pop(chunk_id, None)
                     if assignment is not None:
                         assignment.expired = True
                 chunk = by_id.get(chunk_id)
+                if chunk is not None:
+                    # Fold in the worker-reported compute time (not
+                    # the parent-side round trip: with _PREFETCH > 1 a
+                    # queued chunk's round trip includes waiting
+                    # behind its predecessor, which used to inflate
+                    # the estimate by up to the prefetch depth).
+                    # Duplicates from lost speculation races are real
+                    # measurements and are folded in too.
+                    self._observe_chunk(
+                        fn_key, compute_s, cell_max_s, len(chunk.cells)
+                    )
                 if chunk is None or chunk_id in completed:
                     # Stale (previous call) or duplicate (speculation
                     # lost the race): payload consumed, result dropped.
@@ -1081,10 +1451,6 @@ class PersistentPool:
                 completed.add(chunk_id)
                 done += 1
                 last_progress = now
-                if assignment is not None and assignment.delivered:
-                    self._observe_chunk(
-                        now - assignment.sent_at, len(chunk.cells)
-                    )
                 dispatch(worker.slot)
         if (
             breaker_reason is not None
@@ -1132,7 +1498,7 @@ class PersistentPool:
     # ---- observability -----------------------------------------------------
 
     def _emit_telemetry(
-        self, chunks: list[_Chunk], call: dict[str, Any]
+        self, fn_key: str, chunks: list[_Chunk], call: dict[str, Any]
     ) -> None:
         """Flush one call's deltas into the active telemetry session."""
         tel = _tm.current()
@@ -1166,6 +1532,16 @@ class PersistentPool:
             call["backoff_seconds"]
         )
         m.gauge(_tn.SWEEP_DEGRADED).set(call["degraded"])
+        m.counter(_tn.SWEEP_STEALS_TOTAL).inc(call["steals"])
+        m.counter(_tn.SWEEP_WORKERS_SCALED_TOTAL).inc(
+            call["scaled_up"], direction="up"
+        )
+        m.counter(_tn.SWEEP_WORKERS_SCALED_TOTAL).inc(
+            call["scaled_down"], direction="down"
+        )
+        cost = self._cell_cost.get(fn_key)
+        if cost is not None:
+            m.gauge(_tn.SWEEP_EWMA_CELL_SECONDS).set(cost.mean_s)
 
 
 #: The process-wide pool singleton (``None`` until first use).

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import AllocationError, ConfigError, StoreMissError
+from repro.experiments.pool import cost_key
 from repro.algorithms.costs import SortCostModel
 from repro.algorithms.mlm_sort import MLMSortConfig, mlm_sort_plan
 from repro.algorithms.parallel_sort import gnu_sort_plan
@@ -350,7 +351,10 @@ def sweep_map(
         raise ConfigError(
             f"pool must be one of {SWEEP_POOLS}, got {pool!r}"
         )
-    name = getattr(fn, "__qualname__", repr(fn))
+    # The memo and the pool's cost model key functions identically
+    # (cost_key), so "same function" means the same thing to cached
+    # results and to observed timings.
+    name = cost_key(fn)
     replay = _REPLAY.get()
     if replay is not None:
         return _replay_lookup(replay, name, cells)

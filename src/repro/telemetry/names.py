@@ -108,6 +108,9 @@ SWEEP_SPECULATIVE_TOTAL = "sweep.speculative_total"
 SWEEP_RING_CORRUPT_TOTAL = "sweep.ring_corrupt_total"
 SWEEP_BACKOFF_SECONDS_TOTAL = "sweep.backoff_seconds_total"
 SWEEP_DEGRADED = "sweep.degraded"
+SWEEP_STEALS_TOTAL = "sweep.steals_total"
+SWEEP_WORKERS_SCALED_TOTAL = "sweep.workers_scaled_total"
+SWEEP_EWMA_CELL_SECONDS = "sweep.ewma_cell_seconds"
 SWEEP_MEMO_EVICTED_TOTAL = "sweep.memo_evicted_total"
 
 # --- experiment result store (experiments.store) ---------------------------
@@ -313,6 +316,23 @@ _METRIC_SPECS = [
         SWEEP_DEGRADED, "gauge", "calls",
         "Whether the most recent pool map call fell back to in-process "
         "serial execution after its circuit breaker opened (0/1).",
+    ),
+    MetricSpec(
+        SWEEP_STEALS_TOTAL, "counter", "chunks",
+        "Prefetched chunks reassigned from a busy worker's backlog to "
+        "an idle worker (parent-mediated work stealing).",
+    ),
+    MetricSpec(
+        SWEEP_WORKERS_SCALED_TOTAL, "counter", "events",
+        "Worker-count autoscaling decisions, by direction (mid-call "
+        "growth vs idle retirement).",
+        labels=("direction",),
+    ),
+    MetricSpec(
+        SWEEP_EWMA_CELL_SECONDS, "gauge", "seconds",
+        "EWMA per-cell compute-time estimate for the most recently "
+        "swept cell function (the cost model driving chunk sizing, "
+        "deadlines, and autoscaling).",
     ),
     MetricSpec(
         SWEEP_MEMO_EVICTED_TOTAL, "counter", "entries",

@@ -362,3 +362,60 @@ class TestDriver:
         chaotic = result.rows[1]
         assert chaotic["injected"] > 0
         assert result.column("slowdown")[0] == 1.0
+
+
+class TestAdaptiveSchedulerUnderChaos:
+    """The scheduler fixes and new moves, exercised through faults."""
+
+    def test_dropped_dispatches_do_not_leak_capacity(self):
+        # Two consecutive pipe drops against a single worker used to
+        # wedge the pool: the undelivered assignments stayed in the
+        # prefetch ledger after expiry, starving all future dispatch
+        # until the stall breaker degraded the call to serial. With
+        # eviction, the deadline frees both slots and the sweep
+        # finishes parallel.
+        cells = [(i, 2.0) for i in range(12)]
+        plan = HarnessFaultPlan(seed=3)
+        plan.add(HarnessFaultSpec(HarnessFaultKind.PIPE_DROP, at_dispatch=0))
+        plan.add(HarnessFaultSpec(HarnessFaultKind.PIPE_DROP, at_dispatch=1))
+        pool = _pool(1)
+        try:
+            out = pool.map(
+                _cell, cells, chunk_cells=3, chaos=plan.injector()
+            )
+        finally:
+            pool.shutdown()
+        assert out == [_cell(*c) for c in cells]
+        assert pool.stats.deadline_expiries >= 2
+        assert pool.stats.degraded_calls == 0
+
+    def test_steal_rescues_hung_workers_backlog(self):
+        # The hung worker's prefetched second chunk is unstarted; the
+        # idle survivor steals it instead of waiting for the deadline.
+        pool = _pool(2, cold_deadline_s=1.0, steal_min_s=0.05)
+        try:
+            out = pool.map(
+                _cell, CELLS, chunk_cells=3,
+                chaos=_one_shot(HarnessFaultKind.WORKER_HANG),
+            )
+        finally:
+            pool.shutdown()
+        assert out == SERIAL
+        assert pool.stats.steals >= 1
+
+    @pytest.mark.parametrize("intensity", [0.4, 0.9])
+    def test_full_matrix_bit_identical_with_steal_and_autoscale(
+        self, intensity
+    ):
+        # The headline contract survives the new scheduler moves: the
+        # whole fault matrix with stealing and autoscaling enabled
+        # still reassembles bit-identical to serial.
+        inj = HarnessFaultPlan.chaos_suite(
+            seed=13, intensity=intensity
+        ).injector()
+        pool = _pool(3, steal_min_s=0.03)
+        try:
+            out = pool.map(_cell, CELLS, chunk_cells=3, chaos=inj)
+        finally:
+            pool.shutdown()
+        assert out == SERIAL

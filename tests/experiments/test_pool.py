@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -53,6 +54,11 @@ def _exit_hard(a: int, b: int) -> float:
     if a == 2:
         os._exit(13)  # kills the worker process outright
     return float(a + b)
+
+
+def _sleepy(i: int, s: float) -> float:
+    time.sleep(s)
+    return i * 1.0 + s
 
 
 class TestDeterminism:
@@ -238,6 +244,192 @@ class TestMemoIntegration:
         )
         assert out == [_pair(1, 1)]
         assert len(memo) == 2
+
+
+class TestCostModel:
+    """The per-function EWMA cost model behind deadlines and sizing."""
+
+    def test_estimates_are_per_function(self):
+        pool = PersistentPool(2)
+        pool._observe_chunk("cheap", 4e-4, 1e-4, 4)
+        pool._observe_chunk("heavy", 40.0, 10.0, 4)
+        assert pool._deadline_s("cheap", 4) < pool._deadline_s("heavy", 4)
+        # A cheap function's deadline stays at the floor even after a
+        # heavy function trained the model.
+        assert pool._deadline_s("cheap", 1) == pool.min_deadline_s
+
+    def test_cross_sweep_contamination_fixed(self):
+        # The bug this guards against: thousands of microsecond cells
+        # (a table2-style sweep) used to train one pool-lifetime
+        # scalar EWMA, handing the next sweep's heavy cells deadlines
+        # orders of magnitude too tight. A function the model has not
+        # seen must always start from the cold deadline.
+        pool = PersistentPool(2)
+        for _ in range(50):
+            pool._observe_chunk("micro_cell", 8e-5, 1e-5, 8)
+        assert (
+            pool._deadline_s("figure7_cell", 8) == pool.cold_deadline_s
+        )
+
+    def test_deadline_covers_observed_peak_cell(self):
+        # One observed slow cell must keep deadlines above it, so a
+        # chunk containing the sweep's heavy cell does not expire
+        # spuriously even when the mean is small.
+        pool = PersistentPool(2, deadline_factor=2.0)
+        pool._observe_chunk("f", 0.6, 0.5, 64)  # mean ~9ms, peak 500ms
+        assert pool._deadline_s("f", 1) >= 2.0 * 0.5
+
+    def test_observation_uses_compute_time_not_queue_wait(self):
+        # With _PREFETCH=2 a single worker holds two chunks at once;
+        # the parent-side round trip of the queued chunk includes the
+        # running chunk's whole compute time. The estimate must come
+        # from worker-reported compute seconds instead.
+        pool = PersistentPool(1)
+        try:
+            cells = [(i, 0.05) for i in range(4)]
+            out = pool.map(_sleepy, cells, chunk_cells=1)
+            assert out == [i * 1.0 + 0.05 for i in range(4)]
+            cost = pool._cell_cost[pool_mod.cost_key(_sleepy)]
+            # True per-cell compute is ~50ms; the old send-to-receive
+            # measurement averaged ~2x that on a saturated worker.
+            assert 0.03 < cost.mean_s < 0.075
+        finally:
+            pool.shutdown()
+
+
+class TestAdaptiveSpans:
+    """Skew-measured chunk sizing with the static taper as fallback."""
+
+    KEY = "cell_fn"
+
+    def test_cold_model_falls_back_to_taper(self):
+        pool = PersistentPool(4)
+        assert pool.plan_spans(130, 9, self.KEY) == (
+            PersistentPool.chunk_spans(130, 9)
+        )
+
+    def test_calm_sweep_keeps_taper(self):
+        pool = PersistentPool(4)
+        for _ in range(4):  # uniform 30ms cells: skew ~1
+            pool._observe_chunk(self.KEY, 0.24, 0.03, 8)
+        assert pool.plan_spans(64, 8, self.KEY) == (
+            PersistentPool.chunk_spans(64, 8)
+        )
+
+    def test_microsecond_noise_never_engages(self):
+        # Tiny cells have noisy max/mean ratios; below the peak floor
+        # the skew signal is ignored no matter how large the ratio.
+        pool = PersistentPool(4)
+        pool._observe_chunk(self.KEY, 8e-5, 5e-5, 8)  # skew 5 but ~us
+        assert pool.plan_spans(64, 8, self.KEY) == (
+            PersistentPool.chunk_spans(64, 8)
+        )
+
+    def test_skewed_sweep_shrinks_chunks(self):
+        pool = PersistentPool(4)
+        # mean 10ms with a 400ms straggler cell: skew 40
+        pool._observe_chunk(self.KEY, 0.08, 0.4, 8)
+        pool._observe_chunk(self.KEY, 0.08, 0.01, 8)
+        spans = pool.plan_spans(96, 48, self.KEY)
+        sizes = [hi - lo for lo, hi in spans]
+        assert max(sizes) < 48
+        covered = [i for lo, hi in spans for i in range(lo, hi)]
+        assert covered == list(range(96))
+
+    def test_adaptive_off_pins_taper(self):
+        pool = PersistentPool(4, adaptive=False)
+        pool._observe_chunk(self.KEY, 0.08, 0.4, 8)
+        assert pool.plan_spans(96, 48, self.KEY) == (
+            PersistentPool.chunk_spans(96, 48)
+        )
+
+    def test_extreme_skew_floors_at_one_cell(self):
+        pool = PersistentPool(4)
+        pool._observe_chunk(self.KEY, 0.101, 0.1, 101)  # skew ~100
+        spans = pool.plan_spans(24, 8, self.KEY)
+        assert [hi - lo for lo, hi in spans] == [1] * 24
+
+
+class TestWorkStealing:
+    def test_idle_worker_steals_prefetched_backlog(self):
+        # Cell 0 is a 0.5s straggler; with chunk_cells=2 the straggler
+        # chunk and its queued neighbour both land on one worker. The
+        # other worker drains the rest of the sweep, goes idle, and
+        # must steal the queued chunk instead of letting it wait out
+        # the straggler (deadlines here are far too generous to help).
+        pool = PersistentPool(2, steal_min_s=0.05)
+        cells = [(0, 0.5)] + [(i, 0.01) for i in range(1, 8)]
+        try:
+            out = pool.map(_sleepy, cells, chunk_cells=2)
+        finally:
+            pool.shutdown()
+        assert out == [i * 1.0 + s for i, s in cells]
+        assert pool.stats.steals >= 1
+        # Stealing is reassignment, not speculation: nothing expired.
+        assert pool.stats.deadline_expiries == 0
+        assert pool.stats.speculative == 0
+
+    def test_stealing_disabled_with_adaptive_off(self):
+        pool = PersistentPool(2, adaptive=False, steal_min_s=0.05)
+        cells = [(0, 0.3)] + [(i, 0.01) for i in range(1, 8)]
+        try:
+            out = pool.map(_sleepy, cells, chunk_cells=2)
+        finally:
+            pool.shutdown()
+        assert out == [i * 1.0 + s for i, s in cells]
+        assert pool.stats.steals == 0
+
+
+class TestAutoscale:
+    def test_target_workers_unit(self):
+        pool = PersistentPool(8)
+        # Unknown function: no projection, full complement.
+        assert pool._target_workers("new_fn", 1000) == 8
+        # Known-cheap function: floor.
+        pool._observe_chunk("cheap", 1e-3, 1e-4, 10)
+        assert pool._target_workers("cheap", 100) == pool.min_workers
+        # Known-heavy function: ceiling.
+        pool._observe_chunk("heavy", 1.0, 0.5, 2)
+        assert pool._target_workers("heavy", 100) == 8
+
+    def test_autoscale_off_pins_size(self):
+        pool = PersistentPool(8, autoscale=False)
+        pool._observe_chunk("cheap", 1e-3, 1e-4, 10)
+        assert pool._target_workers("cheap", 100) == 8
+
+    def test_min_workers_clamped_to_size(self):
+        pool = PersistentPool(2, min_workers=16)
+        assert pool.min_workers == 2
+        with pytest.raises(ConfigError):
+            PersistentPool(2, min_workers=0)
+
+    def test_cheap_sweep_scales_down_to_floor(self):
+        pool = PersistentPool(4)
+        cells = [(i, 1) for i in range(32)]
+        serial = [_scalar(*c) for c in cells]
+        try:
+            assert pool.map(_scalar, cells) == serial
+            assert pool.stats.workers_spawned == 4  # cold: full size
+            assert pool.map(_scalar, cells) == serial
+            # Trained model projects ~nothing: the pool retires down
+            # to the floor instead of paying 4 pipes per sweep.
+            assert len(pool._workers) == pool.min_workers == 2
+            assert pool.stats.scaled_down >= 2
+        finally:
+            pool.shutdown()
+
+    def test_scales_back_up_when_cells_get_heavy(self):
+        pool = PersistentPool(4, scale_quantum_s=0.05)
+        try:
+            pool.map(_sleepy, [(i, 0.001) for i in range(8)])
+            cells = [(i, 0.08) for i in range(16)]
+            out = pool.map(_sleepy, cells, chunk_cells=1)
+            assert out == [i * 1.0 + 0.08 for i in range(16)]
+            # The stale-cheap projection started the sweep at the
+            # floor; observed 80ms cells must grow the pool mid-call.
+            assert pool.stats.scaled_up >= 1
+        finally:
+            pool.shutdown()
 
 
 class TestTelemetry:
