@@ -1,0 +1,172 @@
+"""Blocking client for the sweep service's NDJSON-over-TCP protocol.
+
+Used by ``repro-knl submit`` and by tests; any language that can open
+a TCP socket and write one JSON line can speak the same protocol (see
+``docs/SERVICE.md``). One request line gets exactly one response
+line; a connection may carry any number of request/response pairs.
+
+Responses are plain dicts straight from :func:`json.loads`. Because
+JSON round-trips Python floats exactly, a result reconstructed with
+:func:`~repro.experiments.service.result_from_wire` renders tables
+and CSV byte-identical to a direct in-process driver run.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+from repro.errors import AdmissionError, ServiceError
+
+
+class ServiceClient:
+    """One TCP connection to a ``repro-knl serve`` instance.
+
+    Usable as a context manager::
+
+        with ServiceClient("127.0.0.1", 7077) as client:
+            response = client.submit("figure7", tenant="alice")
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7077,
+        timeout: float | None = 300.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file: Any = None
+
+    def __enter__(self) -> "ServiceClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def connect(self) -> None:
+        """Open the connection (idempotent)."""
+        if self._sock is not None:
+            return
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach sweep service at {self.host}:{self.port}: "
+                f"{exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One round trip: send ``payload``, return the decoded reply.
+
+        Protocol-level failures (``ok: false``) raise
+        :class:`~repro.errors.ServiceError` — admission rejections as
+        :class:`~repro.errors.AdmissionError` carrying the server's
+        ``reason`` and ``retry_after_s`` so callers can back off.
+        """
+        self.connect()
+        try:
+            self._file.write(json.dumps(payload).encode() + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            self.close()
+            raise ServiceError(
+                f"connection to sweep service lost: {exc}"
+            ) from exc
+        if not line:
+            self.close()
+            raise ServiceError(
+                "sweep service closed the connection mid-request"
+            )
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            raise ServiceError(
+                f"malformed response from sweep service: {exc}"
+            ) from exc
+        if not isinstance(response, dict):
+            raise ServiceError("malformed response: not a JSON object")
+        if not response.get("ok", False):
+            message = response.get("message", "request failed")
+            if response.get("reason") is not None:
+                raise AdmissionError(
+                    message,
+                    reason=response["reason"],
+                    retry_after_s=float(
+                        response.get("retry_after_s", 1.0)
+                    ),
+                )
+            raise ServiceError(message)
+        return response
+
+    # ---- verbs -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def submit(
+        self,
+        experiment: str,
+        tenant: str = "default",
+        params: dict[str, Any] | None = None,
+        wait: bool = True,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Submit a job; with ``wait`` (default) block until terminal."""
+        request: dict[str, Any] = {
+            "op": "submit",
+            "tenant": tenant,
+            "experiment": experiment,
+            "params": params or {},
+            "wait": wait,
+        }
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self.request(request)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """Current lifecycle state of one job."""
+        return self.request({"op": "status", "job_id": job_id})
+
+    def wait(
+        self, job_id: str, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """Block until a job reaches a terminal state."""
+        request: dict[str, Any] = {"op": "wait", "job_id": job_id}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self.request(request)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; False if it already ran (or finished)."""
+        return bool(self.request(
+            {"op": "cancel", "job_id": job_id}
+        ).get("cancelled"))
+
+    def metrics(self) -> str:
+        """The server's ``service.*`` Prometheus exposition text."""
+        return str(self.request({"op": "metrics"}).get("prometheus", ""))

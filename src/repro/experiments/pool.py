@@ -88,7 +88,10 @@ like a healthy parallel sweep.
 from __future__ import annotations
 
 import atexit
+import itertools
+import json
 import os
+import threading
 import time
 import warnings
 import weakref
@@ -97,6 +100,7 @@ from dataclasses import dataclass, field
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing.connection import Connection, wait
 from multiprocessing.shared_memory import SharedMemory
+from pathlib import Path
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -127,6 +131,13 @@ _PEAK_DECAY = 0.05
 #: Ceiling on chunks per call from skew-aware sizing (bounds the IPC
 #: message count no matter how extreme the measured skew is).
 _MAX_ADAPTIVE_CHUNKS = 1024
+#: File name of the cost-model sidecar under a result-store root.
+COST_SIDECAR = "cost_model.json"
+#: Sidecar schema stamp; bump when the sidecar shape changes.
+COST_SCHEMA = 1
+#: Per-process serial for sidecar temp-file names (same uniqueness
+#: argument as the store's entry temp files).
+_COST_TMP_SERIAL = itertools.count()
 
 
 def cost_key(fn: Callable[..., Any]) -> str:
@@ -154,6 +165,93 @@ class _CellCost:
     mean_s: float
     max_s: float
     chunks: int = 1
+
+
+def load_costs(root: str | os.PathLike) -> dict[str, _CellCost]:
+    """Read a cost-model sidecar, tolerating absence and corruption.
+
+    The sidecar lives at ``<root>/cost_model.json``, next to (not
+    inside) a result store's ``v1/`` entry tree, and is best-effort in
+    both directions: a missing, unreadable, truncated, or
+    wrong-schema sidecar simply reads as empty — the model it would
+    have seeded starts cold, exactly as before the sidecar existed.
+    Entries with non-numeric or negative fields are skipped
+    individually, so one corrupt record cannot poison the rest.
+    """
+    path = Path(root) / COST_SIDECAR
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError:
+        return {}
+    try:
+        doc = json.loads(raw)
+    except ValueError:
+        return {}
+    if not isinstance(doc, dict) or doc.get("schema") != COST_SCHEMA:
+        return {}
+    records = doc.get("costs")
+    if not isinstance(records, dict):
+        return {}
+    costs: dict[str, _CellCost] = {}
+    for key, record in records.items():
+        if not isinstance(key, str) or not isinstance(record, dict):
+            continue
+        mean_s = record.get("mean_s")
+        max_s = record.get("max_s")
+        chunks = record.get("chunks", 1)
+        if (
+            isinstance(mean_s, (int, float))
+            and isinstance(max_s, (int, float))
+            and isinstance(chunks, int)
+            and not isinstance(mean_s, bool)
+            and not isinstance(max_s, bool)
+            and mean_s >= 0.0
+            and max_s >= 0.0
+            and chunks >= 1
+        ):
+            costs[key] = _CellCost(float(mean_s), float(max_s), chunks)
+    return costs
+
+
+def save_costs(
+    root: str | os.PathLike, costs: dict[str, _CellCost]
+) -> bool:
+    """Persist a cost model to the sidecar atomically, best-effort.
+
+    Published with a temp-file + :func:`os.replace` like store
+    entries, so concurrent writers each land a complete file and a
+    reader never observes a partial one. Any filesystem failure
+    returns ``False`` instead of raising — losing the warm-start is
+    an acceptable outcome, failing the sweep that produced it is not.
+    """
+    path = Path(root) / COST_SIDECAR
+    doc = {
+        "schema": COST_SCHEMA,
+        "costs": {
+            key: {
+                "mean_s": cost.mean_s,
+                "max_s": cost.max_s,
+                "chunks": cost.chunks,
+            }
+            for key, cost in sorted(costs.items())
+        },
+    }
+    data = json.dumps(doc, separators=(",", ":")) + "\n"
+    tmp = path.parent / (
+        f".{COST_SIDECAR}.{os.getpid()}.{next(_COST_TMP_SERIAL)}.tmp"
+    )
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(data, encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        return False
+    return True
+
 
 _CTX = get_context(
     "fork" if "fork" in get_all_start_methods() else "spawn"
@@ -557,6 +655,13 @@ class PersistentPool:
         Minimum observed per-cell peak before skew sizing engages at
         all; microsecond cells have noisy skew that is never worth
         extra IPC messages.
+    idle_reap_s:
+        Default idleness bound for :meth:`reap_idle`: a pool that has
+        not dispatched for this long retires all its workers (they
+        respawn lazily on the next call). ``None`` (the default)
+        disables reaping unless the caller passes an explicit bound —
+        one-shot CLI runs exit anyway, but a long-running service must
+        not pin ``jobs`` idle processes forever.
     """
 
     def __init__(
@@ -578,6 +683,7 @@ class PersistentPool:
         steal_min_s: float = 0.05,
         skew_ratio: float = 4.0,
         skew_cell_floor_s: float = 0.02,
+        idle_reap_s: float | None = None,
     ) -> None:
         if size < 1:
             raise ConfigError(f"pool size must be >= 1, got {size}")
@@ -606,6 +712,10 @@ class PersistentPool:
             raise ConfigError(
                 f"min_workers must be >= 1, got {min_workers}"
             )
+        if idle_reap_s is not None and idle_reap_s < 0:
+            raise ConfigError(
+                f"idle_reap_s must be >= 0, got {idle_reap_s}"
+            )
         self.size = min(size, _MAX_WORKERS)
         self.deadline_factor = deadline_factor
         self.min_deadline_s = min_deadline_s
@@ -630,6 +740,7 @@ class PersistentPool:
         self.steal_min_s = steal_min_s
         self.skew_ratio = skew_ratio
         self.skew_cell_floor_s = skew_cell_floor_s
+        self.idle_reap_s = idle_reap_s
         self.stats = PoolStats()
         self._workers: list[_Worker] = []
         self._next_chunk_id = 0
@@ -638,6 +749,11 @@ class PersistentPool:
         self._slot_consecutive: dict[int, int] = {}
         self._respawn_not_before: dict[int, float] = {}
         self._last_chunks: list[_Chunk] = []
+        #: Serializes map() so concurrent callers (the sweep service's
+        #: job threads) cannot interleave dispatch on shared workers.
+        self._lock = threading.RLock()
+        self._last_used = time.monotonic()
+        self._cost_seeded: set[str] = set()
         _REGISTRY.add(self)
 
     # ---- worker lifecycle --------------------------------------------------
@@ -661,18 +777,30 @@ class PersistentPool:
         return _Worker(slot, process, parent_conn, shm, header, ring)
 
     def _retire(self, worker: _Worker) -> None:
-        """Close a worker's parent-side resources (process may live)."""
+        """Close a worker's parent-side resources (process may live).
+
+        Tolerates every partial state a worker can be in — already
+        dead, already harvested (conn closed), ring already unlinked —
+        so teardown paths (shutdown, reap, signal-time drains) can
+        retire unconditionally without leaking the shm ring.
+        """
         try:
             worker.conn.close()
         except OSError:
             pass
-        if worker.process.is_alive():
-            worker.process.kill()
-        worker.process.join(timeout=1.0)
-        worker.shm.close()
+        try:
+            if worker.process.is_alive():
+                worker.process.kill()
+            worker.process.join(timeout=1.0)
+        except (OSError, ValueError):
+            pass
+        try:
+            worker.shm.close()
+        except OSError:
+            pass
         try:
             worker.shm.unlink()
-        except FileNotFoundError:
+        except (FileNotFoundError, OSError):
             pass
 
     def _replace_worker(self, slot: int) -> None:
@@ -739,7 +867,17 @@ class PersistentPool:
         return not self._closed
 
     def shutdown(self) -> None:
-        """Stop workers and release shared-memory rings."""
+        """Stop workers and release shared-memory rings.
+
+        Idempotent and safe to call from signal handlers, atexit, and
+        service drains alike: every step tolerates workers that are
+        already dead, pipes that are already closed, and rings that
+        are already unlinked. ``atexit`` alone is not enough — it does
+        not run on SIGTERM, so a killed service would leak every
+        worker's ``/dev/shm`` ring; whoever catches the signal calls
+        this (see :mod:`repro.experiments.service`) and the rings are
+        unlinked no matter what state the workers died in.
+        """
         if self._closed:
             return
         self._closed = True
@@ -749,9 +887,44 @@ class PersistentPool:
             except (OSError, ValueError):
                 pass
         for worker in self._workers:
-            worker.process.join(timeout=1.0)
-            self._retire(worker)
+            try:
+                worker.process.join(timeout=1.0)
+            except (OSError, ValueError):
+                pass
+            try:
+                self._retire(worker)
+            except Exception:
+                # Last resort: the ring segment must not outlive us.
+                try:
+                    worker.shm.unlink()
+                except (FileNotFoundError, OSError):
+                    pass
         self._workers = []
+
+    def reap_idle(self, max_idle_s: float | None = None) -> int:
+        """Retire all workers if the pool has been idle long enough.
+
+        ``max_idle_s`` overrides the pool's ``idle_reap_s`` (both
+        ``None`` disables the reap). Returns the number of workers
+        retired. Never blocks a sweep: if :meth:`map` holds the
+        dispatch lock the pool is by definition not idle and the reap
+        is skipped. Workers respawn lazily on the next call, paying
+        one spawn round-trip — the right trade for a service that may
+        sit quiet for hours between tenant bursts.
+        """
+        limit = max_idle_s if max_idle_s is not None else self.idle_reap_s
+        if limit is None or self._closed or not self._workers:
+            return 0
+        if not self._lock.acquire(blocking=False):
+            return 0
+        try:
+            if time.monotonic() - self._last_used < limit:
+                return 0
+            reaped = len(self._workers)
+            self._reset_workers()
+            return reaped
+        finally:
+            self._lock.release()
 
     # ---- per-function cost model -------------------------------------------
 
@@ -790,6 +963,40 @@ class PersistentPool:
         )
         cost.max_s = max(cell_max_s, (1.0 - _PEAK_DECAY) * cost.max_s)
         cost.chunks += 1
+
+    def warm_costs(self, root: str | os.PathLike) -> int:
+        """Seed cold cost-model entries from ``root``'s sidecar.
+
+        Fixes the cold-start gap: the EWMA table dies with the
+        process, so without this the first sweep of every process ran
+        blind ``cold_deadline_s`` deadlines with no skew-aware
+        chunking. Only functions the live model has *not* observed are
+        seeded — a fresh in-process measurement always outranks a
+        sidecar written by an earlier process. Each sidecar is read at
+        most once per (pool, root) pair; re-warming after new sweeps is
+        therefore free. Returns the number of entries seeded.
+        """
+        resolved = str(Path(root).resolve())
+        if resolved in self._cost_seeded:
+            return 0
+        self._cost_seeded.add(resolved)
+        seeded = 0
+        for fn_key, cost in load_costs(root).items():
+            if fn_key not in self._cell_cost:
+                self._cell_cost[fn_key] = cost
+                seeded += 1
+        return seeded
+
+    def persist_costs(self, root: str | os.PathLike) -> bool:
+        """Write the live cost model to ``root``'s sidecar, best-effort.
+
+        Called after each store-backed sweep so the next process
+        warm-starts from this one's observations. No-op (``False``)
+        when the model is empty or the write fails.
+        """
+        if not self._cell_cost:
+            return False
+        return save_costs(root, self._cell_cost)
 
     # ---- dispatch ----------------------------------------------------------
 
@@ -880,7 +1087,26 @@ class PersistentPool:
         :class:`repro.experiments.chaos.HarnessFaultInjector` consulted
         once per chunk dispatch; its directives are injected into the
         real workers.
+
+        Calls serialize on an internal lock: the pool's workers, pipes,
+        and cost model are shared state, so concurrent callers (the
+        sweep service dispatches jobs from a thread pool) queue up
+        rather than interleave dispatch. Each sweep still parallelizes
+        across the pool's workers internally.
         """
+        with self._lock:
+            try:
+                return self._map_locked(fn, cells, chunk_cells, chaos)
+            finally:
+                self._last_used = time.monotonic()
+
+    def _map_locked(
+        self,
+        fn: Callable[..., Any],
+        cells: Sequence[tuple],
+        chunk_cells: int | None,
+        chaos: Any | None,
+    ) -> list[Any]:
         if not cells:
             return []
         t_start = time.perf_counter()
@@ -1556,6 +1782,18 @@ def get_pool(jobs: int) -> PersistentPool:
     else:
         _POOL.grow(jobs)
     return _POOL
+
+
+def current_pool() -> PersistentPool | None:
+    """The live singleton, or ``None`` if no pool is up.
+
+    Unlike :func:`get_pool` this never creates or grows a pool, so
+    callers that only want to poke an existing one (the service's
+    idle reaper, cost persistence) can't accidentally fork workers.
+    """
+    if _POOL is not None and _POOL.alive:
+        return _POOL
+    return None
 
 
 def shutdown_pool() -> None:

@@ -398,12 +398,14 @@ def sweep_map(
         # Backfill: a cell this process already memoized may predate
         # the store (e.g. an earlier driver in `repro-knl all --store`
         # computed it store-less). A memo hit must still leave the
-        # store replay-complete.
+        # store replay-complete. The probe validates the entry, not
+        # just its path: a corrupt or foreign-function file behind a
+        # memo hit must be rewritten, or replay fails on a warm store.
         backfilled: set[str] = set()
         for k in keys:
             if k in memo and k not in backfilled:
                 backfilled.add(k)
-                if not tier2.contains(k):
+                if not tier2.probe(k, fn=name):
                     tier2.put(k, memo[k], fn=name)
     if pending and tier2 is not None:
         # Second tier: resolve what the in-memory memo lacks from the
@@ -447,9 +449,19 @@ def sweep_map(
                 if backend == "persistent":
                     from repro.experiments.pool import get_pool
 
-                    computed = get_pool(jobs).map(
+                    pool_obj = get_pool(jobs)
+                    if tier2 is not None:
+                        # Warm-start the EWMA cost model from the
+                        # store's sidecar so the first sweep of a new
+                        # process gets skew-aware chunking instead of
+                        # blind cold deadlines; persist afterwards for
+                        # the next process.
+                        pool_obj.warm_costs(tier2.root)
+                    computed = pool_obj.map(
                         fn, [cells[i] for i in indices]
                     )
+                    if tier2 is not None:
+                        pool_obj.persist_costs(tier2.root)
                 else:
                     workers = min(jobs, len(indices), os.cpu_count() or 1)
                     with ProcessPoolExecutor(max_workers=workers) as ex:

@@ -232,6 +232,31 @@ class ResultStore:
 
     # ---- lookup ------------------------------------------------------------
 
+    @staticmethod
+    def _validate_entry(raw: str, key: str, fn: str | None) -> Any:
+        """Parse and validate one entry's text, returning its value.
+
+        The single validating loader behind both :meth:`get` and
+        :meth:`probe` — schema stamp, key echo, producing-function
+        qualname, and value decoding all have to pass, or the entry
+        reads as corrupt. Raises :class:`ValueError` (or
+        ``TypeError``/``KeyError`` from hostile JSON) on any mismatch.
+        """
+        entry = json.loads(raw)
+        if not isinstance(entry, dict):
+            raise ValueError("entry is not an object")
+        if entry.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"schema {entry.get('schema')!r} != {SCHEMA_VERSION}"
+            )
+        if entry.get("key") != key:
+            raise ValueError(f"key {entry.get('key')!r} != {key!r}")
+        if fn is not None and entry.get("fn") != fn:
+            raise ValueError(f"fn {entry.get('fn')!r} != {fn!r}")
+        if "value" not in entry:
+            raise ValueError("no value field")
+        return _decode_value(entry["value"])
+
     def get(self, key: str, fn: str | None = None) -> tuple[bool, Any]:
         """Look up one entry; returns ``(found, value)``.
 
@@ -252,20 +277,7 @@ class ResultStore:
             self._miss()
             return False, None
         try:
-            entry = json.loads(raw)
-            if not isinstance(entry, dict):
-                raise ValueError("entry is not an object")
-            if entry.get("schema") != SCHEMA_VERSION:
-                raise ValueError(
-                    f"schema {entry.get('schema')!r} != {SCHEMA_VERSION}"
-                )
-            if entry.get("key") != key:
-                raise ValueError(f"key {entry.get('key')!r} != {key!r}")
-            if fn is not None and entry.get("fn") != fn:
-                raise ValueError(f"fn {entry.get('fn')!r} != {fn!r}")
-            if "value" not in entry:
-                raise ValueError("no value field")
-            value = _decode_value(entry["value"])
+            value = self._validate_entry(raw, key, fn)
         except (ValueError, TypeError, KeyError) as exc:
             self._report_corrupt(path, str(exc))
             self._miss()
@@ -281,13 +293,44 @@ class ResultStore:
         return True, value
 
     def contains(self, key: str) -> bool:
-        """Whether an entry file exists for ``key``.
+        """Whether an entry *file* exists for ``key``.
 
-        A plain existence probe — no validation, no stats, no LRU
-        touch. Used to decide whether an in-memory hit still needs to
-        be backfilled to disk.
+        A bare existence check — no validation, no stats, no LRU
+        touch. A present-but-corrupt entry still reads ``True`` here,
+        so decisions about whether an entry needs (re)writing must go
+        through :meth:`probe` instead; this remains only for cheap
+        "has anything ever been written" introspection.
         """
         return self._path(key).exists()
+
+    def probe(self, key: str, fn: str | None = None) -> bool:
+        """Whether ``key`` holds a *loadable* entry (validating probe).
+
+        Runs the same parse + schema/key/function validation as
+        :meth:`get` but records no hit or miss and never touches the
+        entry's mtime — probing whether a backfill is needed must not
+        promote the entry in the LRU order or skew the cache
+        statistics. A present-but-corrupt entry returns ``False`` (and
+        is counted by ``store.corrupt_total``), so callers rewrite it:
+        this is what keeps a warm :func:`~repro.experiments.runner.sweep_map`
+        run replay-complete even when an on-disk entry behind an
+        in-memory memo hit was truncated or written by a different
+        cell function.
+        """
+        path = self._path(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, NotADirectoryError):
+            return False
+        except OSError as exc:
+            self._report_corrupt(path, f"unreadable: {exc}")
+            return False
+        try:
+            self._validate_entry(raw, key, fn)
+        except (ValueError, TypeError, KeyError) as exc:
+            self._report_corrupt(path, str(exc))
+            return False
+        return True
 
     def _miss(self) -> None:
         self.stats.misses += 1
